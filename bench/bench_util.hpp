@@ -1,0 +1,47 @@
+// Shared helpers for the experiment binaries: table printing and common
+// workload plumbing. Each bench regenerates one table/figure of the paper
+// and prints the same rows/series the paper reports.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/common/stats.hpp"
+#include "src/common/units.hpp"
+#include "src/vstore/home_cloud.hpp"
+
+namespace c4h::bench {
+
+inline void header(const std::string& title, const std::string& paper_ref) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("  reproduces: %s\n", paper_ref.c_str());
+  std::printf("================================================================\n");
+}
+
+inline void row_line() {
+  std::printf("----------------------------------------------------------------\n");
+}
+
+inline vstore::ObjectMeta make_object(const std::string& name, Bytes size,
+                                      const std::string& type = "jpg",
+                                      std::vector<std::string> tags = {}) {
+  vstore::ObjectMeta m;
+  m.name = name;
+  m.type = type;
+  m.size = size;
+  m.tags = std::move(tags);
+  return m;
+}
+
+/// Store an object (create + store) from `node`; returns the outcome.
+inline sim::Task<Result<vstore::StoreOutcome>> put_object(vstore::VStoreNode& node,
+                                                          vstore::ObjectMeta meta,
+                                                          vstore::StoreOptions opts = {}) {
+  auto c = co_await node.create_object(meta);
+  if (!c.ok()) co_return c.error();
+  co_return co_await node.store_object(meta.name, opts);
+}
+
+}  // namespace c4h::bench

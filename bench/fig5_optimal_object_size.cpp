@@ -1,0 +1,83 @@
+// Figure 5: remote-cloud throughput vs object size, two methods.
+//
+// Method 1 keeps the total bytes per bucket constant; Method 2 keeps the
+// number of files constant. Paper's finding: throughput *rises* with object
+// size (slow-start amortization, S3's TCP window growth up to ~1.6 MB) to a
+// peak around 20 MB, then *degrades* for long transfers (ISP traffic
+// shaping / rate policing) — so there is an "optimal" object size for
+// remote-cloud placement.
+#include "bench/bench_util.hpp"
+
+namespace c4h {
+namespace {
+
+using sim::Task;
+
+// Store-and-fetch a set of objects of one size against the remote cloud and
+// return aggregate throughput (MB/s over all remote interactions).
+double measure(Bytes object_size, int file_count, std::uint64_t seed) {
+  vstore::HomeCloudConfig cfg;
+  cfg.seed = seed;
+  cfg.start_monitors = false;
+  cfg.wan_rate_jitter = 0.15;  // modest jitter; the figure's shape is transport-driven
+  vstore::HomeCloud hc{cfg};
+  hc.bootstrap();
+
+  double mbytes = 0;
+  Duration busy{};
+  hc.run([&](vstore::HomeCloud& h) -> Task<> {
+    vstore::StoreOptions opts;
+    opts.policy.fallback = vstore::StoreTarget::remote_cloud;
+    for (int i = 0; i < file_count; ++i) {
+      const std::string name = "f5/" + std::to_string(object_size) + "/" + std::to_string(i);
+      auto& node = h.node(static_cast<std::size_t>(i) % h.node_count());
+      const auto t0 = h.sim().now();
+      auto s = co_await bench::put_object(node, bench::make_object(name, object_size, "avi"), opts);
+      if (!s.ok()) continue;
+      auto f = co_await node.fetch_object(name);
+      const auto t1 = h.sim().now();
+      if (!f.ok()) continue;
+      busy += (t1 - t0);
+      mbytes += 2.0 * to_mib(object_size);  // up + down
+    }
+  }(hc));
+  return mbytes / to_seconds(busy);
+}
+
+void run() {
+  bench::header("Fig 5 — Remote cloud: optimal object size",
+                "ICDCS'11 Cloud4Home, Figure 5");
+
+  const std::vector<Bytes> sizes{1_MB, 5_MB, 10_MB, 20_MB, 30_MB, 50_MB, 70_MB, 100_MB};
+  constexpr double kMethod1TotalMB = 200.0;  // constant bytes per bucket
+  constexpr int kMethod2Files = 4;           // constant file count per bucket
+
+  std::printf("%10s | %18s | %18s\n", "size", "Method1 (MB/s)", "Method2 (MB/s)");
+  std::printf("%10s | %18s | %18s\n", "", "(const total MB)", "(const #files)");
+  bench::row_line();
+
+  double best_tput = 0;
+  double best_size = 0;
+  for (const Bytes size : sizes) {
+    const int m1_files = std::max(1, static_cast<int>(kMethod1TotalMB / to_mib(size)));
+    const double m1 = measure(size, m1_files, 7000 + size / 1_MB);
+    const double m2 = measure(size, kMethod2Files, 9000 + size / 1_MB);
+    std::printf("%8.0fMB | %18.3f | %18.3f\n", to_mib(size), m1, m2);
+    if (m1 > best_tput) {
+      best_tput = m1;
+      best_size = to_mib(size);
+    }
+  }
+
+  std::printf("\nshape checks: both methods rise to a peak then degrade; peak near 20 MB\n");
+  std::printf("(measured peak: %.0f MB). Mechanisms: slow-start amortization + 1.6 MB\n", best_size);
+  std::printf("window growth (rise), ISP policing of long transfers (fall).\n");
+}
+
+}  // namespace
+}  // namespace c4h
+
+int main() {
+  c4h::run();
+  return 0;
+}

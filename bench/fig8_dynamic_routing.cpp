@@ -1,0 +1,82 @@
+// Figure 8: feasibility of dynamic request routing — the media-conversion
+// service (.avi → .mp4 with the CPU-intensive x264 library).
+//
+// A low-end Atom device owns a video; another mobile device requests it in
+// mobile format. Either (i) the conversion runs at the owner (T_own), or
+// (ii) VStore++'s dynamic resource discovery finds that a third desktop
+// node is most suitable (T_opt). Paper's finding: T_opt wins substantially
+// despite the extra data movement and the cost of running the VStore++
+// decision algorithm.
+#include "bench/bench_util.hpp"
+
+namespace c4h {
+namespace {
+
+using sim::Task;
+using vstore::ExecSite;
+
+void run() {
+  bench::header("Fig 8 — Feasibility of dynamic request routing (x264 conversion)",
+                "ICDCS'11 Cloud4Home, Figure 8");
+  std::printf("%8s | %12s %12s | %10s | %s\n", "video", "T_own (s)", "T_opt (s)", "speedup",
+              "decision cost incl. in T_opt");
+  bench::row_line();
+
+  for (const Bytes size : {10_MB, 20_MB, 40_MB, 80_MB}) {
+    vstore::HomeCloudConfig cfg;
+    cfg.netbooks = 3;
+    cfg.start_monitors = false;
+    vstore::HomeCloud hc{cfg};
+    hc.bootstrap();
+
+    auto x264 = services::x264_profile();
+    hc.registry().add_profile(x264);
+    // The service is deployed on the owner netbook and on the desktop; the
+    // decision engine must discover that the desktop is better.
+    hc.node(1).deploy_service(x264);
+    hc.desktop().deploy_service(x264);
+
+    double t_own = 0, t_opt = 0, t_dec = 0;
+    std::string picked;
+    hc.run([&, size](vstore::HomeCloud& h) -> Task<> {
+      (void)co_await h.node(1).publish_services();
+      (void)co_await h.desktop().publish_services();
+      const auto xp = *h.registry().profile("x264-transcode", 3);
+
+      // The Atom netbook node(1) owns the video.
+      auto s = co_await bench::put_object(h.node(1), bench::make_object("film.avi", size, "avi"));
+      if (!s.ok()) co_return;
+
+      // A different mobile device, node(0), requests the conversion.
+      auto& mobile = h.node(0);
+      const ExecSite at_owner{ExecSite::Kind::home_node, h.node(1).chimera().id()};
+
+      auto own = co_await mobile.fetch_process("film.avi", xp, vstore::DecisionPolicy::performance);
+      // fetch_process may already route optimally; force the owner case:
+      auto forced = co_await mobile.process("film.avi", xp,
+                                            vstore::DecisionPolicy::performance, at_owner);
+      if (forced.ok()) t_own = to_seconds(forced->total);
+      if (own.ok()) {
+        t_opt = to_seconds(own->total);
+        t_dec = to_seconds(own->decision);
+        picked = own->site.kind == ExecSite::Kind::ec2
+                     ? "ec2"
+                     : (own->site.node == h.desktop().chimera().id() ? "desktop" : "other");
+      }
+    }(hc));
+
+    std::printf("%6.0fMB | %12.1f %12.1f | %9.2fx | %.3f s → %s\n", to_mib(size), t_own, t_opt,
+                t_own / t_opt, t_dec, picked.c_str());
+  }
+
+  std::printf("\nshape checks: T_opt < T_own at every size; discovery picks the desktop;\n");
+  std::printf("the gain grows with video size while the decision cost stays constant.\n");
+}
+
+}  // namespace
+}  // namespace c4h
+
+int main() {
+  c4h::run();
+  return 0;
+}

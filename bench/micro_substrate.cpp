@@ -1,0 +1,125 @@
+// Substrate microbenchmarks (google-benchmark): the building blocks whose
+// costs underlie every experiment — hashing, the red-black tree, the
+// serializer, the fair-share solver, overlay routing, and the event engine.
+#include <benchmark/benchmark.h>
+
+#include "src/common/rbtree.hpp"
+#include "src/common/rng.hpp"
+#include "src/common/serial.hpp"
+#include "src/common/sha1.hpp"
+#include "src/mon/monitor.hpp"
+#include "src/net/fairshare.hpp"
+#include "src/overlay/chimera_node.hpp"
+#include "src/sim/simulation.hpp"
+
+namespace c4h {
+namespace {
+
+void BM_Sha1Key(benchmark::State& state) {
+  int i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Key::from_name("object-" + std::to_string(i++)));
+  }
+}
+BENCHMARK(BM_Sha1Key);
+
+void BM_Sha1Throughput(benchmark::State& state) {
+  const std::string data(static_cast<std::size_t>(state.range(0)), 'x');
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Sha1::hash(data));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_Sha1Throughput)->Arg(64)->Arg(4096)->Arg(65536);
+
+void BM_RbTreeInsertErase(benchmark::State& state) {
+  Rng rng{7};
+  RbTree<std::uint64_t, std::uint64_t> t;
+  for (auto _ : state) {
+    const auto k = rng.below(100000);
+    t.insert(k, k);
+    if (t.size() > 4096) t.erase(t.min()->key);
+  }
+}
+BENCHMARK(BM_RbTreeInsertErase);
+
+void BM_RbTreeLookup(benchmark::State& state) {
+  RbTree<std::uint64_t, std::uint64_t> t;
+  for (std::uint64_t k = 0; k < 4096; ++k) t.insert(k * 7919 % 65536, k);
+  Rng rng{9};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(t.find(rng.below(65536)));
+  }
+}
+BENCHMARK(BM_RbTreeLookup);
+
+void BM_SerializeResourceRecord(benchmark::State& state) {
+  mon::ResourceRecord rec;
+  rec.node = Key::from_name("node");
+  rec.cpu_load = 0.4;
+  rec.free_memory = 512_MB;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rec.serialize());
+  }
+}
+BENCHMARK(BM_SerializeResourceRecord);
+
+void BM_DeserializeResourceRecord(benchmark::State& state) {
+  mon::ResourceRecord rec;
+  rec.node = Key::from_name("node");
+  const Buffer b = rec.serialize();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mon::ResourceRecord::deserialize(b));
+  }
+}
+BENCHMARK(BM_DeserializeResourceRecord);
+
+void BM_FairShareSolver(benchmark::State& state) {
+  const auto nflows = static_cast<std::size_t>(state.range(0));
+  std::vector<Rate> caps(8, 1e8);
+  std::vector<net::FairFlowDesc> flows;
+  Rng rng{11};
+  for (std::size_t f = 0; f < nflows; ++f) {
+    net::FairFlowDesc d;
+    d.links = {static_cast<std::uint32_t>(rng.below(8))};
+    d.cap = 1e6 + rng.uniform() * 1e8;
+    flows.push_back(d);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net::max_min_fair_rates(caps, flows));
+  }
+}
+BENCHMARK(BM_FairShareSolver)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_NextHopComputation(benchmark::State& state) {
+  sim::Simulation sim;
+  vmm::HostSpec spec;
+  spec.name = "h";
+  vmm::Host host{sim, spec};
+  overlay::ChimeraNode node{Key::from_name("self"), "self", host};
+  for (int i = 0; i < 64; ++i) {
+    node.add_peer(Key::from_name("peer-" + std::to_string(i)), {});
+  }
+  Rng rng{13};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(node.next_hop(Key{rng.below(Key::kMask)}));
+  }
+}
+BENCHMARK(BM_NextHopComputation);
+
+void BM_EventEngineChurn(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulation sim;
+    for (int i = 0; i < 1000; ++i) {
+      sim.schedule(milliseconds(i % 100), [] {});
+    }
+    sim.run();
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_EventEngineChurn);
+
+}  // namespace
+}  // namespace c4h
+
+BENCHMARK_MAIN();

@@ -1,0 +1,96 @@
+// Content sharing under churn (§II "content sharing in college dorms or
+// apartment homes"): devices join and leave while residents keep publishing
+// and fetching shared media. Demonstrates dynamic overlay reconfiguration,
+// key redistribution on graceful leaves, replica-based survival of crashes,
+// and the metadata path caches soaking up popular lookups.
+//
+//   $ ./examples/content_sharing
+#include <cstdio>
+
+#include "src/common/stats.hpp"
+#include "src/vstore/home_cloud.hpp"
+
+using namespace c4h;
+using sim::Task;
+
+namespace {
+
+Task<> resident(vstore::HomeCloud& h, std::size_t device, int rounds, int& ok, int& failed) {
+  Rng rng{1000 + device};
+  for (int r = 0; r < rounds; ++r) {
+    co_await h.sim().delay(seconds(1) + milliseconds(static_cast<long>(rng.below(2000))));
+    auto& node = h.node(device);
+    if (!node.online()) co_return;  // our device left the building
+
+    if (rng.chance(0.4)) {
+      // Publish a new clip.
+      vstore::ObjectMeta m;
+      m.name = "shared/d" + std::to_string(device) + "-r" + std::to_string(r) + ".mp4";
+      m.type = "mp4";
+      m.size = 2_MB + rng.below(6) * 1_MB;
+      (void)co_await node.create_object(m);
+      auto res = co_await node.store_object(m.name);
+      (res.ok() ? ok : failed) += 1;
+    } else {
+      // Fetch something someone published (popular items more often).
+      const auto dev = rng.below(h.node_count());
+      const auto round = rng.zipf(static_cast<std::uint64_t>(r) + 1, 1.0);
+      const std::string name =
+          "shared/d" + std::to_string(dev) + "-r" + std::to_string(round) + ".mp4";
+      auto res = co_await node.fetch_object(name);
+      if (res.ok()) {
+        ++ok;
+      } else if (res.code() != Errc::not_found && res.code() != Errc::unavailable) {
+        ++failed;  // not_found/unavailable are expected under churn
+      }
+    }
+  }
+}
+
+}  // namespace
+
+int main() {
+  vstore::HomeCloudConfig cfg;
+  cfg.netbooks = 7;  // a dorm floor
+  cfg.kv.replication = 2;
+  cfg.start_stabilization = true;
+  cfg.overlay.stabilize_period = seconds(1);
+  vstore::HomeCloud dorm{cfg};
+  dorm.bootstrap();
+
+  int ok = 0, failed = 0;
+  dorm.run([&ok, &failed](vstore::HomeCloud& h) -> Task<> {
+    // Residents on 6 devices; devices 2 and 5 will churn.
+    std::vector<sim::Task<>> tasks;
+    for (std::size_t d = 0; d < 6; ++d) {
+      tasks.push_back(resident(h, d, /*rounds=*/20, ok, failed));
+    }
+    tasks.push_back([](vstore::HomeCloud& hh) -> Task<> {
+      // Device 2 leaves politely mid-way (keys redistributed)...
+      co_await hh.sim().delay(seconds(20));
+      co_await hh.overlay().leave(hh.node(2).chimera());
+      // ...device 5 just crashes (heartbeats detect it, replicas repair).
+      co_await hh.sim().delay(seconds(10));
+      hh.overlay().crash(hh.node(5).chimera());
+    }(h));
+    co_await sim::when_all(h.sim(), std::move(tasks));
+  }(dorm));
+
+  const auto& ostats = dorm.overlay().stats();
+  const auto& kstats = dorm.kv().stats();
+  std::printf("content sharing under churn — %.0f simulated seconds\n",
+              to_seconds(dorm.sim().now()));
+  std::printf("  operations: %d succeeded, %d hard failures\n", ok, failed);
+  std::printf("  overlay: %llu routes, %llu maintenance msgs, %llu failures detected\n",
+              static_cast<unsigned long long>(ostats.routes),
+              static_cast<unsigned long long>(ostats.maintenance_messages),
+              static_cast<unsigned long long>(ostats.failures_detected));
+  std::printf("  metadata: %llu puts / %llu gets, %llu served locally, %llu by path caches\n",
+              static_cast<unsigned long long>(kstats.puts),
+              static_cast<unsigned long long>(kstats.gets),
+              static_cast<unsigned long long>(kstats.local_hits),
+              static_cast<unsigned long long>(kstats.cache_hits));
+  std::printf("  redistribution: %llu msgs (leave handoff + failure repair)\n",
+              static_cast<unsigned long long>(kstats.redistribution_msgs));
+  return failed == 0 ? 0 : 1;
+}

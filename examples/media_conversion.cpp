@@ -1,0 +1,94 @@
+// Media conversion (§II): a household media library lives on whichever
+// device ripped it; mobile devices request mobile-format versions. VStore++
+// fetch+process transparently transcodes — at the requester if it can, at
+// the owner, or at the desktop found by dynamic resource discovery — and
+// the privacy policy keeps personal audio home while shareable video can
+// ride in the cloud.
+//
+//   $ ./examples/media_conversion
+#include <cstdio>
+
+#include "src/vstore/home_cloud.hpp"
+
+using namespace c4h;
+using sim::Task;
+
+int main() {
+  vstore::HomeCloud home;
+  home.bootstrap();
+
+  auto x264 = services::x264_profile();
+  home.registry().add_profile(x264);
+  // Only the desktop is beefy enough to be *registered* for transcoding.
+  home.desktop().deploy_service(x264);
+
+  struct Item {
+    const char* name;
+    const char* type;
+    Bytes size;
+    std::size_t ripped_on;  // which device holds it
+  };
+  const Item library[] = {
+      {"library/wedding.avi", "avi", 48_MB, 1},
+      {"library/concert.avi", "avi", 32_MB, 2},
+      {"library/roadtrip.avi", "avi", 16_MB, 4},
+      {"library/mixtape.mp3", "mp3", 12_MB, 1},
+      {"library/podcast.mp3", "mp3", 6_MB, 3},
+  };
+
+  home.run([&library](vstore::HomeCloud& h) -> Task<> {
+    (void)co_await h.desktop().publish_services();
+    const auto xp = *h.registry().profile("x264-transcode", 3);
+
+    // Rip phase: each device stores its media under the privacy policy
+    // (.mp3 stays home; shareable video may go to the cloud).
+    vstore::StoreOptions opts;
+    opts.policy = vstore::StoragePolicy::privacy();
+    for (const auto& item : library) {
+      auto& owner = h.node(item.ripped_on);
+      vstore::ObjectMeta m;
+      m.name = item.name;
+      m.type = item.type;
+      m.size = item.size;
+      (void)co_await owner.create_object(m);
+      auto stored = co_await owner.store_object(m.name, opts);
+      if (stored.ok()) {
+        std::printf("%-22s %5.0f MB ripped on %-10s → %s\n", item.name, to_mib(item.size),
+                    owner.name().c_str(),
+                    stored->location.is_cloud() ? stored->location.url.c_str() : "home");
+      }
+    }
+    std::printf("\n");
+
+    // Consumption phase: the mobile device (netbook-0) wants everything in
+    // mobile format. Videos go through fetch+process; audio is fetched raw.
+    auto& mobile = h.node(0);
+    for (const auto& item : library) {
+      if (std::string_view{item.type} == "avi") {
+        const auto t0 = h.sim().now();
+        auto res = co_await mobile.fetch_process(item.name, xp);
+        if (!res.ok()) {
+          std::printf("%-22s conversion failed: %s\n", item.name, res.error().message.c_str());
+          continue;
+        }
+        const char* site =
+            res->site.kind == vstore::ExecSite::Kind::ec2
+                ? "EC2"
+                : (res->site.node == h.desktop().chimera().id() ? "desktop" : "elsewhere");
+        std::printf("%-22s → %4.0f MB .mp4 on %-8s in %6.1f s (move %.1f s, exec %.1f s)\n",
+                    item.name, to_mib(res->output), site, to_seconds(h.sim().now() - t0),
+                    to_seconds(res->move), to_seconds(res->exec));
+      } else {
+        auto res = co_await mobile.fetch_object(item.name);
+        if (res.ok()) {
+          std::printf("%-22s → fetched raw (%s) in %6.2f s\n", item.name,
+                      res->from_cloud ? "from S3" : "from home", to_seconds(res->total));
+        }
+      }
+    }
+  }(home));
+
+  std::printf("\nlibrary size in cloud: %.0f MB across %zu objects\n",
+              to_mib(home.s3().stored_bytes()), home.s3().object_count());
+  return 0;
+}

@@ -1,0 +1,38 @@
+#include "src/cloud/cloud.hpp"
+
+namespace c4h::cloud {
+
+sim::Task<Result<void>> S3Store::put(net::NetNodeId from, const std::string& url, Bytes size) {
+  co_await net_.transfer(from, endpoint_, size, transport_.profile());
+  objects_[url] = size;
+  co_return Result<void>{};
+}
+
+sim::Task<Result<Bytes>> S3Store::get(net::NetNodeId to, const std::string& url) {
+  const auto it = objects_.find(url);
+  if (it == objects_.end()) {
+    // The 404 still costs a round trip.
+    co_await net_.send_message(to, endpoint_);
+    co_await net_.send_message(endpoint_, to);
+    co_return Error{Errc::not_found, "no such object: " + url};
+  }
+  const Bytes size = it->second;
+  co_await net_.transfer(endpoint_, to, size, transport_.profile());
+  co_return size;
+}
+
+sim::Task<Result<void>> S3Store::erase(net::NetNodeId from, const std::string& url) {
+  co_await net_.send_message(from, endpoint_);
+  const bool existed = objects_.erase(url) > 0;
+  co_await net_.send_message(endpoint_, from);
+  if (!existed) co_return Error{Errc::not_found, "no such object: " + url};
+  co_return Result<void>{};
+}
+
+Bytes S3Store::stored_bytes() const {
+  Bytes b = 0;
+  for (const auto& [url, size] : objects_) b += size;
+  return b;
+}
+
+}  // namespace c4h::cloud

@@ -1,0 +1,24 @@
+#include "src/common/log.hpp"
+
+#include <cstdarg>
+#include <cstdio>
+
+namespace c4h::log_detail {
+
+LogLevel& global_level() {
+  static LogLevel level = LogLevel::warn;
+  return level;
+}
+
+void emitf(LogLevel level, std::string_view component, const char* fmt, ...) {
+  static constexpr const char* kNames[] = {"TRACE", "DEBUG", "INFO", "WARN", "ERROR", "OFF"};
+  char msg[1024];
+  va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(msg, sizeof(msg), fmt, args);
+  va_end(args);
+  std::fprintf(stderr, "[%s] %.*s: %s\n", kNames[static_cast<int>(level)],
+               static_cast<int>(component.size()), component.data(), msg);
+}
+
+}  // namespace c4h::log_detail

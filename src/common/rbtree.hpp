@@ -1,0 +1,366 @@
+// Red-black tree.
+//
+// Chimera "provides a logical tree view of other nodes in the overlay,
+// implemented as a red-black tree" (§III-A, Fig. 2). We implement that
+// structure ourselves rather than aliasing std::map so the overlay layer
+// uses the same data structure the paper describes, and so tests can check
+// the red-black invariants directly.
+//
+// Ordered map interface: insert / erase / find / lower_bound / min / max /
+// successor-style iteration. Not thread-safe (the simulation is single-
+// threaded by design).
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <utility>
+
+namespace c4h {
+
+template <typename K, typename V, typename Compare = std::less<K>>
+class RbTree {
+ public:
+  struct Node {
+    K key;
+    V value;
+
+   private:
+    friend class RbTree;
+    Node* parent = nullptr;
+    Node* left = nullptr;
+    Node* right = nullptr;
+    bool red = true;
+  };
+
+  RbTree() = default;
+  ~RbTree() { clear(); }
+
+  RbTree(const RbTree&) = delete;
+  RbTree& operator=(const RbTree&) = delete;
+
+  RbTree(RbTree&& other) noexcept { swap(other); }
+  RbTree& operator=(RbTree&& other) noexcept {
+    if (this != &other) {
+      clear();
+      swap(other);
+    }
+    return *this;
+  }
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  void clear() {
+    destroy(root_);
+    root_ = nullptr;
+    size_ = 0;
+  }
+
+  /// Inserts or assigns. Returns {node, inserted}.
+  std::pair<Node*, bool> insert(const K& key, V value) {
+    Node* parent = nullptr;
+    Node** link = &root_;
+    while (*link != nullptr) {
+      parent = *link;
+      if (cmp_(key, parent->key)) {
+        link = &parent->left;
+      } else if (cmp_(parent->key, key)) {
+        link = &parent->right;
+      } else {
+        parent->value = std::move(value);
+        return {parent, false};
+      }
+    }
+    auto* n = new Node{};
+    n->key = key;
+    n->value = std::move(value);
+    n->parent = parent;
+    *link = n;
+    ++size_;
+    fix_insert(n);
+    return {n, true};
+  }
+
+  Node* find(const K& key) const {
+    Node* n = root_;
+    while (n != nullptr) {
+      if (cmp_(key, n->key)) {
+        n = n->left;
+      } else if (cmp_(n->key, key)) {
+        n = n->right;
+      } else {
+        return n;
+      }
+    }
+    return nullptr;
+  }
+
+  bool contains(const K& key) const { return find(key) != nullptr; }
+
+  /// First node with key >= `key`, or nullptr.
+  Node* lower_bound(const K& key) const {
+    Node* n = root_;
+    Node* best = nullptr;
+    while (n != nullptr) {
+      if (cmp_(n->key, key)) {
+        n = n->right;
+      } else {
+        best = n;
+        n = n->left;
+      }
+    }
+    return best;
+  }
+
+  Node* min() const { return root_ ? leftmost(root_) : nullptr; }
+  Node* max() const { return root_ ? rightmost(root_) : nullptr; }
+
+  /// In-order successor (nullptr at end).
+  static Node* next(Node* n) {
+    assert(n != nullptr);
+    if (n->right != nullptr) return leftmost(n->right);
+    Node* p = n->parent;
+    while (p != nullptr && n == p->right) {
+      n = p;
+      p = p->parent;
+    }
+    return p;
+  }
+
+  /// In-order predecessor (nullptr at begin).
+  static Node* prev(Node* n) {
+    assert(n != nullptr);
+    if (n->left != nullptr) return rightmost(n->left);
+    Node* p = n->parent;
+    while (p != nullptr && n == p->left) {
+      n = p;
+      p = p->parent;
+    }
+    return p;
+  }
+
+  bool erase(const K& key) {
+    Node* n = find(key);
+    if (n == nullptr) return false;
+    erase_node(n);
+    return true;
+  }
+
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (Node* n = min(); n != nullptr; n = next(n)) fn(n->key, n->value);
+  }
+
+  /// Validates the red-black invariants; returns black-height or -1 on
+  /// violation. Exposed for tests.
+  int validate() const {
+    if (root_ != nullptr && root_->red) return -1;
+    return black_height(root_);
+  }
+
+ private:
+  static Node* leftmost(Node* n) {
+    while (n->left != nullptr) n = n->left;
+    return n;
+  }
+  static Node* rightmost(Node* n) {
+    while (n->right != nullptr) n = n->right;
+    return n;
+  }
+
+  static bool is_red(const Node* n) { return n != nullptr && n->red; }
+
+  void destroy(Node* n) {
+    if (n == nullptr) return;
+    destroy(n->left);
+    destroy(n->right);
+    delete n;
+  }
+
+  void swap(RbTree& other) noexcept {
+    std::swap(root_, other.root_);
+    std::swap(size_, other.size_);
+    std::swap(cmp_, other.cmp_);
+  }
+
+  int black_height(const Node* n) const {
+    if (n == nullptr) return 1;
+    if (is_red(n) && (is_red(n->left) || is_red(n->right))) return -1;
+    if (n->left != nullptr && !cmp_(n->left->key, n->key)) return -1;
+    if (n->right != nullptr && !cmp_(n->key, n->right->key)) return -1;
+    const int lh = black_height(n->left);
+    const int rh = black_height(n->right);
+    if (lh < 0 || rh < 0 || lh != rh) return -1;
+    return lh + (n->red ? 0 : 1);
+  }
+
+  void rotate_left(Node* x) {
+    Node* y = x->right;
+    x->right = y->left;
+    if (y->left != nullptr) y->left->parent = x;
+    y->parent = x->parent;
+    replace_child(x, y);
+    y->left = x;
+    x->parent = y;
+  }
+
+  void rotate_right(Node* x) {
+    Node* y = x->left;
+    x->left = y->right;
+    if (y->right != nullptr) y->right->parent = x;
+    y->parent = x->parent;
+    replace_child(x, y);
+    y->right = x;
+    x->parent = y;
+  }
+
+  void replace_child(Node* old_child, Node* new_child) {
+    Node* p = old_child->parent;
+    if (p == nullptr) {
+      root_ = new_child;
+    } else if (p->left == old_child) {
+      p->left = new_child;
+    } else {
+      p->right = new_child;
+    }
+  }
+
+  void fix_insert(Node* z) {
+    while (is_red(z->parent)) {
+      Node* p = z->parent;
+      Node* g = p->parent;  // grandparent exists: parent is red, root is black
+      if (p == g->left) {
+        Node* uncle = g->right;
+        if (is_red(uncle)) {
+          p->red = false;
+          uncle->red = false;
+          g->red = true;
+          z = g;
+        } else {
+          if (z == p->right) {
+            z = p;
+            rotate_left(z);
+            p = z->parent;
+          }
+          p->red = false;
+          g->red = true;
+          rotate_right(g);
+        }
+      } else {
+        Node* uncle = g->left;
+        if (is_red(uncle)) {
+          p->red = false;
+          uncle->red = false;
+          g->red = true;
+          z = g;
+        } else {
+          if (z == p->left) {
+            z = p;
+            rotate_right(z);
+            p = z->parent;
+          }
+          p->red = false;
+          g->red = true;
+          rotate_left(g);
+        }
+      }
+    }
+    root_->red = false;
+  }
+
+  void erase_node(Node* z) {
+    Node* removed = z;          // node physically unlinked
+    Node* replacement;          // child that takes its place (may be null)
+    Node* replacement_parent;   // parent of `replacement` after unlinking
+    bool removed_was_red;
+
+    if (z->left != nullptr && z->right != nullptr) {
+      // Two children: unlink the in-order successor instead; move its
+      // key/value into z (node identity of z is preserved, successor dies).
+      Node* s = leftmost(z->right);
+      z->key = std::move(s->key);
+      z->value = std::move(s->value);
+      removed = s;
+    }
+
+    removed_was_red = removed->red;
+    replacement = removed->left != nullptr ? removed->left : removed->right;
+    replacement_parent = removed->parent;
+    if (replacement != nullptr) replacement->parent = replacement_parent;
+    replace_child(removed, replacement);
+    delete removed;
+    --size_;
+
+    if (!removed_was_red) fix_erase(replacement, replacement_parent);
+  }
+
+  // CLRS delete-fixup, tolerating null children (x may be nullptr; its
+  // parent is tracked explicitly).
+  void fix_erase(Node* x, Node* parent) {
+    while (x != root_ && !is_red(x)) {
+      if (parent == nullptr) break;
+      if (x == parent->left) {
+        Node* w = parent->right;
+        if (is_red(w)) {
+          w->red = false;
+          parent->red = true;
+          rotate_left(parent);
+          w = parent->right;
+        }
+        if (!is_red(w->left) && !is_red(w->right)) {
+          w->red = true;
+          x = parent;
+          parent = x->parent;
+        } else {
+          if (!is_red(w->right)) {
+            if (w->left != nullptr) w->left->red = false;
+            w->red = true;
+            rotate_right(w);
+            w = parent->right;
+          }
+          w->red = parent->red;
+          parent->red = false;
+          if (w->right != nullptr) w->right->red = false;
+          rotate_left(parent);
+          x = root_;
+          parent = nullptr;
+        }
+      } else {
+        Node* w = parent->left;
+        if (is_red(w)) {
+          w->red = false;
+          parent->red = true;
+          rotate_right(parent);
+          w = parent->left;
+        }
+        if (!is_red(w->left) && !is_red(w->right)) {
+          w->red = true;
+          x = parent;
+          parent = x->parent;
+        } else {
+          if (!is_red(w->left)) {
+            if (w->right != nullptr) w->right->red = false;
+            w->red = true;
+            rotate_left(w);
+            w = parent->left;
+          }
+          w->red = parent->red;
+          parent->red = false;
+          if (w->left != nullptr) w->left->red = false;
+          rotate_right(parent);
+          x = root_;
+          parent = nullptr;
+        }
+      }
+    }
+    if (x != nullptr) x->red = false;
+  }
+
+  Node* root_ = nullptr;
+  std::size_t size_ = 0;
+  [[no_unique_address]] Compare cmp_{};
+};
+
+}  // namespace c4h

@@ -1,0 +1,96 @@
+// Lightweight Result<T> error handling for VStore++ operations.
+//
+// The paper's VStore++ interface reports failures (e.g. the key-value store's
+// "error" overwrite policy returns an error to the caller), so the public API
+// uses value-carrying results rather than exceptions for expected failures.
+// Exceptions remain reserved for programming errors / broken invariants.
+#pragma once
+
+#include <cassert>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace c4h {
+
+enum class Errc {
+  ok = 0,
+  not_found,        // object / key / service does not exist
+  already_exists,   // put with OverwritePolicy::error on an existing key
+  no_capacity,      // no bin or node can hold the object
+  no_route,         // overlay could not route (no live nodes)
+  unavailable,      // target node offline / service not deployed anywhere
+  invalid_argument,
+  timeout,
+  io_error,
+  permission_denied,  // principal lacks the required right (acl.hpp)
+};
+
+/// Human-readable name for an error code (stable, used in logs and tests).
+constexpr const char* to_string(Errc e) {
+  switch (e) {
+    case Errc::ok: return "ok";
+    case Errc::not_found: return "not_found";
+    case Errc::already_exists: return "already_exists";
+    case Errc::no_capacity: return "no_capacity";
+    case Errc::no_route: return "no_route";
+    case Errc::unavailable: return "unavailable";
+    case Errc::invalid_argument: return "invalid_argument";
+    case Errc::timeout: return "timeout";
+    case Errc::io_error: return "io_error";
+    case Errc::permission_denied: return "permission_denied";
+  }
+  return "unknown";
+}
+
+struct Error {
+  Errc code = Errc::ok;
+  std::string message;
+};
+
+/// Result<T>: either a value or an Error. Result<void> carries success only.
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : v_(std::move(value)) {}  // NOLINT: implicit by design
+  Result(Error err) : v_(std::move(err)) { assert(error().code != Errc::ok); }
+  Result(Errc code, std::string msg = {}) : v_(Error{code, std::move(msg)}) {}
+
+  bool ok() const { return std::holds_alternative<T>(v_); }
+  explicit operator bool() const { return ok(); }
+
+  const T& value() const& { assert(ok()); return std::get<T>(v_); }
+  T& value() & { assert(ok()); return std::get<T>(v_); }
+  T&& value() && { assert(ok()); return std::get<T>(std::move(v_)); }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  const Error& error() const { assert(!ok()); return std::get<Error>(v_); }
+  Errc code() const { return ok() ? Errc::ok : error().code; }
+
+  T value_or(T fallback) const& { return ok() ? value() : std::move(fallback); }
+
+ private:
+  std::variant<T, Error> v_;
+};
+
+template <>
+class [[nodiscard]] Result<void> {
+ public:
+  Result() = default;
+  Result(Error err) : err_(std::move(err)) {}  // NOLINT: implicit by design
+  Result(Errc code, std::string msg = {}) : err_(Error{code, std::move(msg)}) {}
+
+  bool ok() const { return err_.code == Errc::ok; }
+  explicit operator bool() const { return ok(); }
+  const Error& error() const { assert(!ok()); return err_; }
+  Errc code() const { return err_.code; }
+
+ private:
+  Error err_;
+};
+
+}  // namespace c4h

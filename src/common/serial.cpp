@@ -1,0 +1,3 @@
+// serial.hpp is header-only; this TU exists so the library has a stable
+// archive member and a place for future out-of-line codecs.
+#include "src/common/serial.hpp"

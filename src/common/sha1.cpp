@@ -1,0 +1,97 @@
+#include "src/common/sha1.hpp"
+
+#include <cstring>
+
+namespace c4h {
+
+namespace {
+
+constexpr std::uint32_t rotl(std::uint32_t x, int n) {
+  return (x << n) | (x >> (32 - n));
+}
+
+}  // namespace
+
+void Sha1::reset() {
+  h_ = {0x67452301u, 0xEFCDAB89u, 0x98BADCFEu, 0x10325476u, 0xC3D2E1F0u};
+  buf_len_ = 0;
+  total_bits_ = 0;
+}
+
+void Sha1::process_block(const std::uint8_t* block) {
+  std::uint32_t w[80];
+  for (int i = 0; i < 16; ++i) {
+    w[i] = (std::uint32_t{block[i * 4]} << 24) | (std::uint32_t{block[i * 4 + 1]} << 16) |
+           (std::uint32_t{block[i * 4 + 2]} << 8) | std::uint32_t{block[i * 4 + 3]};
+  }
+  for (int i = 16; i < 80; ++i) {
+    w[i] = rotl(w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16], 1);
+  }
+
+  std::uint32_t a = h_[0], b = h_[1], c = h_[2], d = h_[3], e = h_[4];
+  for (int i = 0; i < 80; ++i) {
+    std::uint32_t f, k;
+    if (i < 20) {
+      f = (b & c) | (~b & d);
+      k = 0x5A827999u;
+    } else if (i < 40) {
+      f = b ^ c ^ d;
+      k = 0x6ED9EBA1u;
+    } else if (i < 60) {
+      f = (b & c) | (b & d) | (c & d);
+      k = 0x8F1BBCDCu;
+    } else {
+      f = b ^ c ^ d;
+      k = 0xCA62C1D6u;
+    }
+    const std::uint32_t tmp = rotl(a, 5) + f + e + k + w[i];
+    e = d;
+    d = c;
+    c = rotl(b, 30);
+    b = a;
+    a = tmp;
+  }
+  h_[0] += a;
+  h_[1] += b;
+  h_[2] += c;
+  h_[3] += d;
+  h_[4] += e;
+}
+
+void Sha1::update(const void* data, std::size_t len) {
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  total_bits_ += std::uint64_t{len} * 8;
+  while (len > 0) {
+    const std::size_t take = std::min(len, buf_.size() - buf_len_);
+    std::memcpy(buf_.data() + buf_len_, p, take);
+    buf_len_ += take;
+    p += take;
+    len -= take;
+    if (buf_len_ == buf_.size()) {
+      process_block(buf_.data());
+      buf_len_ = 0;
+    }
+  }
+}
+
+Sha1::Digest Sha1::finish() {
+  const std::uint64_t bits = total_bits_;
+  const std::uint8_t pad = 0x80;
+  update(&pad, 1);
+  const std::uint8_t zero = 0;
+  while (buf_len_ != 56) update(&zero, 1);
+  std::uint8_t len_be[8];
+  for (int i = 0; i < 8; ++i) len_be[i] = static_cast<std::uint8_t>(bits >> (56 - i * 8));
+  update(len_be, 8);
+
+  Digest out;
+  for (int i = 0; i < 5; ++i) {
+    out[i * 4] = static_cast<std::uint8_t>(h_[i] >> 24);
+    out[i * 4 + 1] = static_cast<std::uint8_t>(h_[i] >> 16);
+    out[i * 4 + 2] = static_cast<std::uint8_t>(h_[i] >> 8);
+    out[i * 4 + 3] = static_cast<std::uint8_t>(h_[i]);
+  }
+  return out;
+}
+
+}  // namespace c4h

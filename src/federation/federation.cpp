@@ -1,0 +1,107 @@
+#include "src/federation/federation.hpp"
+
+namespace c4h::federation {
+
+using vstore::HomeCloud;
+using vstore::ObjectRecord;
+using vstore::VStoreNode;
+
+sim::Task<> Federation::directory_round_trip(VStoreNode& node, Bytes request, Bytes reply) {
+  auto& net = hood_.network();
+  co_await net.send_message(node.chimera().net_node(), hood_.cloud_endpoint(), request);
+  co_await net.send_message(hood_.cloud_endpoint(), node.chimera().net_node(), reply);
+}
+
+sim::Task<Result<void>> Federation::publish(HomeCloud& home, VStoreNode& node,
+                                            const std::string& object_name) {
+  // Read the object's record from the home's own metadata layer (the home
+  // remains the source of truth; the directory only indexes).
+  auto raw = co_await home.kv().get(node.chimera(), Key::from_name(object_name));
+  if (!raw.ok()) co_return raw.error();
+  auto rec = ObjectRecord::deserialize(*raw);
+  if (!rec.ok()) co_return rec.error();
+
+  co_await directory_round_trip(node);
+
+  DirEntry entry;
+  entry.home = &home;
+  entry.size = rec->meta.size;
+  if (rec->location.is_cloud()) {
+    entry.s3_url = rec->location.url;
+  } else {
+    entry.owner_node = rec->location.node;
+  }
+  directory_[object_name] = entry;
+  ++stats_.published;
+  co_return Result<void>{};
+}
+
+sim::Task<Result<void>> Federation::withdraw(HomeCloud& home, VStoreNode& node,
+                                             const std::string& object_name) {
+  co_await directory_round_trip(node);
+  const auto it = directory_.find(object_name);
+  if (it == directory_.end()) co_return Error{Errc::not_found, "not published: " + object_name};
+  if (it->second.home != &home) {
+    co_return Error{Errc::permission_denied, "only the publishing home may withdraw"};
+  }
+  directory_.erase(it);
+  co_return Result<void>{};
+}
+
+sim::Task<Result<FederatedFetch>> Federation::fetch(HomeCloud& home, VStoreNode& node,
+                                                    const std::string& object_name) {
+  auto& sim = hood_.sim();
+  auto& net = hood_.network();
+  const auto t0 = sim.now();
+  FederatedFetch out;
+
+  ++stats_.directory_queries;
+  const auto d0 = sim.now();
+  co_await directory_round_trip(node);
+  out.directory_lookup = sim.now() - d0;
+
+  const auto it = directory_.find(object_name);
+  if (it == directory_.end()) {
+    co_return Error{Errc::not_found, "not in neighborhood directory: " + object_name};
+  }
+  const DirEntry entry = it->second;
+  out.size = entry.size;
+  out.source_home = entry.home->config().home_name;
+
+  const auto x0 = sim.now();
+  if (entry.home == &home) {
+    // Our own home published it: a plain VStore++ fetch.
+    out.local_home = true;
+    auto res = co_await node.fetch_object(object_name);
+    if (!res.ok()) co_return res.error();
+  } else if (!entry.s3_url.empty()) {
+    // Lives in the shared cloud: download directly.
+    out.from_shared_cloud = true;
+    ++stats_.cloud_served;
+    auto got = co_await home.s3().get(node.chimera().net_node(), entry.s3_url);
+    if (!got.ok()) co_return got.error();
+    co_await node.xensocket().transfer(entry.size);
+  } else {
+    // Home-to-home: the source node reads its disk, then the bytes cross
+    // the source home's uplink and our downlink (the shared-core path).
+    VStoreNode* src = entry.home->node_by_key(entry.owner_node);
+    if (src == nullptr || !src->online()) {
+      co_return Error{Errc::unavailable, "publishing node offline: " + object_name};
+    }
+    ++stats_.cross_home_fetches;
+    co_await net.send_message(node.chimera().net_node(), src->chimera().net_node());
+    auto read = co_await src->fs().read(object_name);
+    if (!read.ok()) co_return read.error();
+    net::TcpProfile profile = home.config().transport.profile();
+    profile.rtt = profile.rtt * 2;  // two access networks end to end
+    co_await net.transfer(src->chimera().net_node(), node.chimera().net_node(), entry.size,
+                          profile);
+    co_await node.xensocket().transfer(entry.size);
+  }
+  out.transfer = sim.now() - x0;
+  out.total = sim.now() - t0;
+  stats_.bytes_exchanged += static_cast<double>(entry.size);
+  co_return out;
+}
+
+}  // namespace c4h::federation

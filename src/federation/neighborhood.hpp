@@ -1,0 +1,96 @@
+// Multiple collaborating Cloud4Home infrastructures — §VII future work (v):
+// "evaluate use cases in which multiple Cloud4Home infrastructures
+// collaborate. A concrete example ... would be a 'neighborhood security'
+// system in which multiple Cloud4Home systems interact to provide effective
+// security services for entire neighborhoods."
+//
+// A Neighborhood is the shared world several HomeClouds live in: one
+// simulation clock, one network (each home's gateway uplinks into an
+// internet core, with the public cloud attached to the core), and one
+// public cloud (S3 + EC2) serving all homes. Homes remain autonomous —
+// each keeps its own overlay, key-value store, monitors, and policies —
+// and interact only through the Federation directory (federation.hpp).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "src/cloud/cloud.hpp"
+#include "src/net/network.hpp"
+#include "src/sim/simulation.hpp"
+
+namespace c4h::vstore {
+
+class HomeCloud;
+
+struct NeighborhoodConfig {
+  std::uint64_t seed = 42;
+  // Internet core ↔ cloud datacenter: far above any home's access link.
+  Rate core_cloud_rate = mbps(1000);
+  Duration core_cloud_latency = milliseconds(5);
+};
+
+class Neighborhood {
+ public:
+  explicit Neighborhood(NeighborhoodConfig config = {})
+      : config_(config), sim_(config.seed) {
+    core_ = topo_.add_node();
+    cloud_ep_ = topo_.add_node();
+    topo_.add_duplex(core_, cloud_ep_, config_.core_cloud_rate, config_.core_cloud_latency);
+  }
+
+  Neighborhood(const Neighborhood&) = delete;
+  Neighborhood& operator=(const Neighborhood&) = delete;
+
+  sim::Simulation& sim() { return sim_; }
+  net::NetNodeId internet_core() const { return core_; }
+  net::NetNodeId cloud_endpoint() const { return cloud_ep_; }
+
+  /// Topology is open for wiring until the first bootstrap() finalizes it.
+  net::Topology& topology() {
+    assert(net_ == nullptr && "topology frozen after first bootstrap");
+    return topo_;
+  }
+
+  /// Creates (on first call) and returns the shared network.
+  net::Network& network() {
+    if (net_ == nullptr) {
+      net_ = std::make_unique<net::Network>(sim_, std::move(topo_));
+    }
+    return *net_;
+  }
+
+  /// The shared public cloud, created lazily against the shared network.
+  cloud::S3Store& s3(const cloud::CloudTransport& transport) {
+    if (s3_ == nullptr) {
+      s3_ = std::make_unique<cloud::S3Store>(network(), cloud_ep_, transport);
+    }
+    return *s3_;
+  }
+  cloud::Ec2Instance& ec2() {
+    if (ec2_ == nullptr) {
+      ec2_ = std::make_unique<cloud::Ec2Instance>(sim_, cloud_ep_,
+                                                  cloud::Ec2Instance::extra_large_spec("ec2-hood"));
+    }
+    return *ec2_;
+  }
+
+  void register_home(HomeCloud* home) { homes_.push_back(home); }
+  const std::vector<HomeCloud*>& homes() const { return homes_; }
+
+  /// Runs a coroutine to completion on the shared clock.
+  void run(sim::Task<> t) { sim_.run_task(std::move(t)); }
+
+ private:
+  NeighborhoodConfig config_;
+  sim::Simulation sim_;
+  net::Topology topo_;
+  net::NetNodeId core_;
+  net::NetNodeId cloud_ep_;
+  std::unique_ptr<net::Network> net_;
+  std::unique_ptr<cloud::S3Store> s3_;
+  std::unique_ptr<cloud::Ec2Instance> ec2_;
+  std::vector<HomeCloud*> homes_;
+};
+
+}  // namespace c4h::vstore

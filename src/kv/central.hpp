@@ -1,0 +1,98 @@
+// Centralized metadata store — the alternative the paper names (§III-A):
+// "there exist many alternative implementations of this layer for VStore++,
+// including centralized ones ... Our future work will investigate such
+// alternatives."
+//
+// One designated coordinator node holds every entry; all other nodes
+// put/get over the network. Compared with the DHT layer this trades:
+//   + flat two-message lookups with no routing,
+//   − a coordinator hot spot (every operation crosses its access link and
+//     its CPU), and
+//   − a single point of failure: when the coordinator dies, the *entire*
+//     metadata plane is gone until it returns (no replicas to promote).
+// The ablation bench quantifies both.
+#pragma once
+
+#include <unordered_map>
+
+#include "src/common/result.hpp"
+#include "src/common/serial.hpp"
+#include "src/overlay/overlay.hpp"
+
+namespace c4h::kv {
+
+struct CentralStats {
+  std::uint64_t puts = 0;
+  std::uint64_t gets = 0;
+  std::uint64_t coordinator_messages = 0;  // load on the coordinator
+  std::uint64_t outage_failures = 0;       // ops rejected while it was down
+};
+
+class CentralizedMetadata {
+ public:
+  /// `coordinator` is the designated node (the paper suggests e.g. a node
+  /// with sufficient connectivity/capacity).
+  CentralizedMetadata(overlay::Overlay& overlay, overlay::ChimeraNode& coordinator,
+                      Duration local_access = microseconds(200))
+      : overlay_(overlay), coordinator_(coordinator), local_access_(local_access) {}
+
+  sim::Task<Result<void>> put(overlay::ChimeraNode& origin, Key key, Buffer value) {
+    ++stats_.puts;
+    auto& sim = overlay_.simulation();
+    auto& net = overlay_.network();
+    if (!coordinator_.online()) {
+      ++stats_.outage_failures;
+      co_return Error{Errc::unavailable, "metadata coordinator offline"};
+    }
+    if (&origin != &coordinator_) {
+      stats_.coordinator_messages += 2;
+      co_await net.send_message(origin.net_node(), coordinator_.net_node(), 50 + value.size());
+    }
+    co_await sim.delay(local_access_);
+    table_[key] = std::move(value);
+    if (&origin != &coordinator_) {
+      co_await net.send_message(coordinator_.net_node(), origin.net_node());  // ack
+    }
+    co_return Result<void>{};
+  }
+
+  sim::Task<Result<Buffer>> get(overlay::ChimeraNode& origin, Key key) {
+    ++stats_.gets;
+    auto& sim = overlay_.simulation();
+    auto& net = overlay_.network();
+    if (!coordinator_.online()) {
+      ++stats_.outage_failures;
+      co_return Error{Errc::unavailable, "metadata coordinator offline"};
+    }
+    if (&origin != &coordinator_) {
+      stats_.coordinator_messages += 2;
+      co_await net.send_message(origin.net_node(), coordinator_.net_node());
+    }
+    co_await sim.delay(local_access_);
+    const auto it = table_.find(key);
+    if (it == table_.end()) {
+      if (&origin != &coordinator_) {
+        co_await net.send_message(coordinator_.net_node(), origin.net_node());
+      }
+      co_return Error{Errc::not_found, "no value for key"};
+    }
+    Buffer out = it->second;
+    if (&origin != &coordinator_) {
+      co_await net.send_message(coordinator_.net_node(), origin.net_node(), 50 + out.size());
+    }
+    co_return out;
+  }
+
+  std::size_t entries() const { return table_.size(); }
+  const CentralStats& stats() const { return stats_; }
+  overlay::ChimeraNode& coordinator() { return coordinator_; }
+
+ private:
+  overlay::Overlay& overlay_;
+  overlay::ChimeraNode& coordinator_;
+  Duration local_access_;
+  std::unordered_map<Key, Buffer> table_;
+  CentralStats stats_;
+};
+
+}  // namespace c4h::kv

@@ -1,0 +1,335 @@
+#include "src/kv/kvstore.hpp"
+
+#include <algorithm>
+
+namespace c4h::kv {
+
+using overlay::ChimeraNode;
+
+KvStore::KvStore(overlay::Overlay& overlay, KvConfig config)
+    : overlay_(overlay), config_(config) {
+  overlay_.set_leave_hook([this](ChimeraNode& n) { return redistribute_on_leave(n); });
+  overlay_.set_failure_hook([this](Key dead) { return repair_after_failure(dead); });
+}
+
+Bytes KvStore::value_bytes(const std::vector<Buffer>& versions) const {
+  Bytes b = config_.message_overhead;
+  for (const auto& v : versions) b += v.size();
+  return b;
+}
+
+sim::Task<Result<void>> KvStore::put(ChimeraNode& origin, Key key, Buffer value,
+                                     OverwritePolicy policy) {
+  ++stats_.puts;
+  auto& sim = overlay_.simulation();
+  auto& net = overlay_.network();
+  co_await sim.delay(config_.chimera_ipc);  // hand the request to Chimera
+
+  auto routed = co_await overlay_.route(origin, key);
+  if (!routed.ok()) co_return routed.error();
+  ChimeraNode* owner = overlay_.node_by_key(routed->owner);
+
+  // Ship the value to the owner (command packet + serialized value).
+  if (owner != &origin) {
+    co_await net.send_message(origin.net_node(), owner->net_node(),
+                              config_.message_overhead + value.size());
+  }
+  co_await sim.delay(config_.local_access);
+
+  NodeStore& store = stores_[owner->id()];
+  auto it = store.primary.find(key);
+  switch (policy) {
+    case OverwritePolicy::error:
+      if (it != store.primary.end()) {
+        if (owner != &origin) co_await net.send_message(owner->net_node(), origin.net_node());
+        co_return Error{Errc::already_exists, "key exists and policy is error"};
+      }
+      store.primary[key].versions = {std::move(value)};
+      break;
+    case OverwritePolicy::overwrite:
+      store.primary[key].versions = {std::move(value)};
+      break;
+    case OverwritePolicy::chain:
+      store.primary[key].versions.push_back(std::move(value));
+      break;
+  }
+
+  // Caches are updated before the ack ("whenever a key-value entry is
+  // modified, the corresponding caches are also updated"), keeping reads
+  // coherent; replication proceeds off the critical path.
+  co_await refresh_caches(*owner, key);
+  sim.spawn(replicate(*owner, key));
+
+  if (owner != &origin) {
+    co_await net.send_message(owner->net_node(), origin.net_node());  // ack
+  }
+  co_await sim.delay(config_.chimera_ipc);  // reply crosses back over IPC
+  co_return Result<void>{};
+}
+
+sim::Task<Result<std::vector<Buffer>>> KvStore::get_all(ChimeraNode& origin, Key key) {
+  ++stats_.gets;
+  auto& sim = overlay_.simulation();
+  auto& net = overlay_.network();
+  co_await sim.delay(config_.chimera_ipc);
+
+  // Local fast path: authoritative copy or cache on the origin. Replicas are
+  // deliberately NOT served here: replication is asynchronous, so a replica
+  // can lag the owner's copy; it only serves through the routed path, where
+  // the holder is the key's (possibly newly promoted) owner.
+  {
+    NodeStore& mine = stores_[origin.id()];
+    const auto pit = mine.primary.find(key);
+    if (pit != mine.primary.end()) {
+      ++stats_.local_hits;
+      co_await sim.delay(config_.local_access + config_.chimera_ipc);
+      co_return pit->second.versions;
+    }
+    if (config_.path_caching) {
+      const auto cit = mine.cache.find(key);
+      if (cit != mine.cache.end()) {
+        ++stats_.local_hits;
+        co_await sim.delay(config_.local_access + config_.chimera_ipc);
+        co_return cit->second;
+      }
+    }
+  }
+
+  // Route toward the owner, stopping early at any hop with a cached copy.
+  std::function<bool(ChimeraNode&)> stop;
+  if (config_.path_caching) {
+    stop = [this, key](ChimeraNode& n) {
+      const auto sit = stores_.find(n.id());
+      return sit != stores_.end() && sit->second.cache.contains(key);
+    };
+  }
+  auto routed = co_await overlay_.route(origin, key, stop);
+  if (!routed.ok()) co_return routed.error();
+  ChimeraNode* holder = overlay_.node_by_key(routed->owner);
+
+  NodeStore& hs = stores_[holder->id()];
+  std::vector<Buffer>* versions = nullptr;
+  bool from_cache = false;
+  if (auto pit = hs.primary.find(key); pit != hs.primary.end()) {
+    versions = &pit->second.versions;
+  } else if (auto rit = hs.replica.find(key); rit != hs.replica.end()) {
+    versions = &rit->second;  // owner changed after a failure; replica serves
+  } else if (config_.path_caching) {
+    if (auto cit = hs.cache.find(key); cit != hs.cache.end()) {
+      versions = &cit->second;
+      from_cache = true;
+      ++stats_.cache_hits;
+    }
+  }
+
+  co_await sim.delay(config_.local_access);
+  if (versions == nullptr) {
+    if (holder != &origin) co_await net.send_message(holder->net_node(), origin.net_node());
+    co_await sim.delay(config_.chimera_ipc);
+    co_return Error{Errc::not_found, "no value for key"};
+  }
+
+  // Reply straight back to the origin with the value.
+  std::vector<Buffer> result = *versions;
+  if (holder != &origin) {
+    co_await net.send_message(holder->net_node(), origin.net_node(), value_bytes(result));
+  }
+  co_await sim.delay(config_.chimera_ipc);
+
+  // Populate path caches (including the origin) and register them with the
+  // owner for future invalidation. Off the critical path.
+  if (config_.path_caching && !from_cache) {
+    Entry& entry = hs.primary[key];
+    auto cache_on = [&](Key node_key) {
+      if (node_key == holder->id()) return;
+      stores_[node_key].cache[key] = result;
+      entry.cached_at.insert(node_key);
+      ++stats_.cache_updates;
+    };
+    for (const Key hop : routed->path) cache_on(hop);
+    cache_on(origin.id());
+  }
+
+  co_return result;
+}
+
+sim::Task<Result<Buffer>> KvStore::get(ChimeraNode& origin, Key key) {
+  auto all = co_await get_all(origin, key);
+  if (!all.ok()) co_return all.error();
+  if (all->empty()) co_return Error{Errc::not_found, "empty entry"};
+  co_return all->back();
+}
+
+sim::Task<Result<void>> KvStore::erase(ChimeraNode& origin, Key key) {
+  ++stats_.erases;
+  auto& sim = overlay_.simulation();
+  auto& net = overlay_.network();
+
+  auto routed = co_await overlay_.route(origin, key);
+  if (!routed.ok()) co_return routed.error();
+  ChimeraNode* owner = overlay_.node_by_key(routed->owner);
+  if (owner != &origin) {
+    co_await net.send_message(origin.net_node(), owner->net_node());
+  }
+  co_await sim.delay(config_.local_access);
+
+  NodeStore& store = stores_[owner->id()];
+  const auto it = store.primary.find(key);
+  if (it == store.primary.end()) {
+    if (owner != &origin) co_await net.send_message(owner->net_node(), origin.net_node());
+    co_return Error{Errc::not_found, "no value for key"};
+  }
+
+  // Tear down caches and replicas.
+  for (const Key c : it->second.cached_at) {
+    stores_[c].cache.erase(key);
+    ++stats_.cache_updates;
+  }
+  for (const Key r : it->second.replica_at) {
+    stores_[r].replica.erase(key);
+    ++stats_.replication_msgs;
+  }
+  store.primary.erase(it);
+
+  if (owner != &origin) co_await net.send_message(owner->net_node(), origin.net_node());
+  co_return Result<void>{};
+}
+
+sim::Task<> KvStore::refresh_caches(ChimeraNode& owner, Key key) {
+  auto& net = overlay_.network();
+  const auto sit = stores_.find(owner.id());
+  if (sit == stores_.end()) co_return;
+  const auto it = sit->second.primary.find(key);
+  if (it == sit->second.primary.end()) co_return;
+
+  // Copy targets first: the entry may mutate while we await messages.
+  const std::vector<Key> targets(it->second.cached_at.begin(), it->second.cached_at.end());
+  for (const Key c : targets) {
+    ChimeraNode* n = overlay_.node_by_key(c);
+    if (n == nullptr || !n->online()) continue;
+    const auto cur = stores_[owner.id()].primary.find(key);
+    if (cur == stores_[owner.id()].primary.end()) co_return;  // erased meanwhile
+    ++stats_.cache_updates;
+    co_await net.send_message(owner.net_node(), n->net_node(), value_bytes(cur->second.versions));
+    stores_[c].cache[key] = cur->second.versions;
+  }
+}
+
+sim::Task<> KvStore::replicate(ChimeraNode& owner, Key key) {
+  auto& net = overlay_.network();
+  if (config_.replication <= 0) co_return;
+  const auto succ = overlay_.successors_of(owner.id(), config_.replication);
+  for (const Key r : succ) {
+    ChimeraNode* n = overlay_.node_by_key(r);
+    if (n == nullptr || !n->online()) continue;
+    const auto cur = stores_[owner.id()].primary.find(key);
+    if (cur == stores_[owner.id()].primary.end()) co_return;
+    ++stats_.replication_msgs;
+    co_await net.send_message(owner.net_node(), n->net_node(), value_bytes(cur->second.versions));
+    stores_[r].replica[key] = cur->second.versions;
+    stores_[owner.id()].primary[key].replica_at.insert(r);
+  }
+}
+
+sim::Task<> KvStore::redistribute_on_leave(ChimeraNode& leaver) {
+  auto& net = overlay_.network();
+  const auto sit = stores_.find(leaver.id());
+  if (sit == stores_.end()) co_return;
+
+  // Hand each authoritative entry to the node that becomes its owner once
+  // the leaver is gone (its closest remaining ring neighbour for that key).
+  std::vector<std::pair<Key, Entry>> entries(sit->second.primary.begin(),
+                                             sit->second.primary.end());
+  for (auto& [key, entry] : entries) {
+    Key best{};
+    std::uint64_t best_dist = UINT64_MAX;
+    for (ChimeraNode* n : overlay_.live_members()) {
+      if (n == &leaver) continue;
+      const auto d = n->id().ring_distance(key);
+      if (d < best_dist || (d == best_dist && n->id() < best)) {
+        best = n->id();
+        best_dist = d;
+      }
+    }
+    if (best_dist == UINT64_MAX) co_return;  // last node leaving; data is lost
+    ChimeraNode* target = overlay_.node_by_key(best);
+    ++stats_.redistribution_msgs;
+    co_await net.send_message(leaver.net_node(), target->net_node(),
+                              value_bytes(entry.versions));
+    Entry moved = entry;
+    moved.cached_at.clear();  // caches re-form on the new request paths
+    moved.replica_at.clear();
+    stores_[best].primary[key] = std::move(moved);
+    ChimeraNode* new_owner = overlay_.node_by_key(best);
+    if (new_owner != nullptr) overlay_.simulation().spawn(replicate(*new_owner, key));
+  }
+  stores_.erase(leaver.id());
+}
+
+sim::Task<> KvStore::repair_after_failure(Key dead) {
+  auto& net = overlay_.network();
+  // The dead node's table is gone. Every key it owned survives only in
+  // replicas; promote each replica at the key's new owner and restore the
+  // replication factor. Also scrub the dead node from cache/replica sets.
+  stores_.erase(dead);
+  for (auto& [node, store] : stores_) {
+    for (auto& [key, entry] : store.primary) {
+      entry.cached_at.erase(dead);
+      entry.replica_at.erase(dead);
+    }
+  }
+
+  // Collect keys whose replicas exist but whose owner lost the primary.
+  std::vector<std::pair<Key, Key>> to_promote;  // (key, holder)
+  for (auto& [node, store] : stores_) {
+    ChimeraNode* holder = overlay_.node_by_key(node);
+    if (holder == nullptr || !holder->online()) continue;
+    for (auto& [key, versions] : store.replica) {
+      const Key owner = overlay_.true_owner(key);
+      const auto oit = stores_.find(owner);
+      const bool owner_has = oit != stores_.end() && oit->second.primary.contains(key);
+      if (!owner_has) to_promote.emplace_back(key, node);
+    }
+  }
+
+  for (const auto& [key, holder_key] : to_promote) {
+    ChimeraNode* holder = overlay_.node_by_key(holder_key);
+    const Key owner_key = overlay_.true_owner(key);
+    ChimeraNode* owner = overlay_.node_by_key(owner_key);
+    if (holder == nullptr || owner == nullptr) continue;
+    auto& versions = stores_[holder_key].replica[key];
+    if (holder_key != owner_key) {
+      ++stats_.redistribution_msgs;
+      co_await net.send_message(holder->net_node(), owner->net_node(), value_bytes(versions));
+    }
+    stores_[owner_key].primary[key].versions = versions;
+    overlay_.simulation().spawn(replicate(*owner, key));
+  }
+}
+
+std::vector<Key> KvStore::primary_keys(Key node) const {
+  std::vector<Key> out;
+  const auto it = stores_.find(node);
+  if (it == stores_.end()) return out;
+  out.reserve(it->second.primary.size());
+  for (const auto& [k, e] : it->second.primary) out.push_back(k);
+  return out;
+}
+
+std::size_t KvStore::total_entries() const {
+  std::size_t n = 0;
+  for (const auto& [node, store] : stores_) n += store.primary.size();
+  return n;
+}
+
+bool KvStore::has_cache(Key node, Key key) const {
+  const auto it = stores_.find(node);
+  return it != stores_.end() && it->second.cache.contains(key);
+}
+
+bool KvStore::has_replica(Key node, Key key) const {
+  const auto it = stores_.find(node);
+  return it != stores_.end() && it->second.replica.contains(key);
+}
+
+}  // namespace c4h::kv

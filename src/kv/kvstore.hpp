@@ -1,0 +1,115 @@
+// DHT-based key-value store — the VStore++ metadata & resource-management
+// layer (§III-A).
+//
+// One uniform store holds three kinds of entries: object metadata (key =
+// hash of object name), service registrations (key = hash of service name ⊕
+// id), and node resource records (key = node id derived from its address).
+//
+// Faithful to the paper's enhanced Chimera:
+//  * put carries an overwrite policy — overwrite, chain a new version, or
+//    return an error if the key exists;
+//  * entries are cached on the intermediate hops of each request's path
+//    through the overlay, and every modification propagates to the caches;
+//  * entries are replicated with a fixed replication factor (ring
+//    successors of the owner), restored when nodes fail;
+//  * a departing node's keys are redistributed among the remaining nodes.
+#pragma once
+
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/result.hpp"
+#include "src/common/serial.hpp"
+#include "src/overlay/overlay.hpp"
+
+namespace c4h::kv {
+
+enum class OverwritePolicy : std::uint8_t {
+  overwrite,  // replace the value
+  chain,      // append a new version
+  error,      // fail if the key already exists
+};
+
+struct KvConfig {
+  bool path_caching = true;
+  int replication = 1;                          // replicas beyond the owner
+  Duration local_access = microseconds(200);    // in-memory table access
+  Bytes message_overhead = 50;                  // command packet framing
+  // VStore++ talks to the Chimera process over IPC (§IV); paid on entry and
+  // on reply for every KV operation issued by a node.
+  Duration chimera_ipc = milliseconds(2);
+};
+
+struct KvStats {
+  std::uint64_t puts = 0;
+  std::uint64_t gets = 0;
+  std::uint64_t erases = 0;
+  std::uint64_t local_hits = 0;       // resolved without any network hop
+  std::uint64_t cache_hits = 0;       // served by an intermediate path cache
+  std::uint64_t cache_updates = 0;    // messages refreshing caches on put
+  std::uint64_t replication_msgs = 0;
+  std::uint64_t redistribution_msgs = 0;
+};
+
+/// The distributed key-value store. One instance manages the per-node tables
+/// of every overlay member (a simulation convenience; all access paths still
+/// pay the right messages and delays).
+class KvStore {
+ public:
+  KvStore(overlay::Overlay& overlay, KvConfig config = {});
+
+  /// Stores `value` under `key`, routed from `origin`. Blocking semantics:
+  /// completes after the owner's acknowledgement (the paper's blocking store
+  /// pays exactly this extra ack).
+  sim::Task<Result<void>> put(overlay::ChimeraNode& origin, Key key, Buffer value,
+                              OverwritePolicy policy = OverwritePolicy::overwrite);
+
+  /// Latest version of the value for `key`.
+  sim::Task<Result<Buffer>> get(overlay::ChimeraNode& origin, Key key);
+
+  /// All chained versions, oldest first.
+  sim::Task<Result<std::vector<Buffer>>> get_all(overlay::ChimeraNode& origin, Key key);
+
+  sim::Task<Result<void>> erase(overlay::ChimeraNode& origin, Key key);
+
+  const KvStats& stats() const { return stats_; }
+  const KvConfig& config() const { return config_; }
+  overlay::Overlay& overlay() { return overlay_; }
+
+  /// Keys for which `node` currently holds the authoritative copy.
+  std::vector<Key> primary_keys(Key node) const;
+
+  /// Total number of authoritative entries across live nodes.
+  std::size_t total_entries() const;
+
+  /// True if `node` holds a cached copy of `key` (test/diagnostic hook).
+  bool has_cache(Key node, Key key) const;
+  bool has_replica(Key node, Key key) const;
+
+ private:
+  struct Entry {
+    std::vector<Buffer> versions;
+    std::set<Key> cached_at;    // nodes holding path-cache copies
+    std::set<Key> replica_at;   // nodes holding replicas
+  };
+
+  struct NodeStore {
+    std::unordered_map<Key, Entry> primary;
+    std::unordered_map<Key, std::vector<Buffer>> replica;
+    std::unordered_map<Key, std::vector<Buffer>> cache;
+  };
+
+  sim::Task<> replicate(overlay::ChimeraNode& owner, Key key);
+  sim::Task<> refresh_caches(overlay::ChimeraNode& owner, Key key);
+  sim::Task<> redistribute_on_leave(overlay::ChimeraNode& leaver);
+  sim::Task<> repair_after_failure(Key dead);
+  Bytes value_bytes(const std::vector<Buffer>& versions) const;
+
+  overlay::Overlay& overlay_;
+  KvConfig config_;
+  std::unordered_map<Key, NodeStore> stores_;  // per overlay node
+  KvStats stats_;
+};
+
+}  // namespace c4h::kv

@@ -1,0 +1,87 @@
+// Resource monitoring (§III-A Fig 2, §IV).
+//
+// Each node runs a monitoring utility (the prototype used Linux glibtop)
+// that samples CPU load, free memory, bin space (via a file-system watcher),
+// link bandwidth, and battery level, then publishes the serialized record
+// into the key-value store under the node's own id after a configurable
+// period "to contain messaging overheads". Placement decisions read these
+// records via chimeraGetDecision().
+#pragma once
+
+#include <functional>
+#include <optional>
+
+#include "src/common/serial.hpp"
+#include "src/kv/kvstore.hpp"
+#include "src/overlay/overlay.hpp"
+#include "src/vmm/machine.hpp"
+
+namespace c4h::mon {
+
+/// One node's published resource record.
+struct ResourceRecord {
+  Key node;
+  double cpu_load = 0;            // [0,1]
+  Bytes free_memory = 0;
+  Bytes mandatory_bin_free = 0;   // local object-store space
+  Bytes voluntary_bin_free = 0;   // space volunteered to the pool
+  Rate uplink_estimate = 0;       // bytes/sec the node believes it can push
+  double battery = 1.0;           // [0,1]; 1.0 when mains powered
+  bool battery_powered = false;
+  std::int64_t sampled_at_ns = 0; // staleness measure for decisions
+
+  Buffer serialize() const;
+  static Result<ResourceRecord> deserialize(const Buffer& b);
+};
+
+/// Callback giving the monitor access to bin occupancy — implemented by the
+/// VStore++ object store ("a simple file system watcher component keeps
+/// track of mandatory and voluntary bin space").
+struct BinWatcher {
+  std::function<Bytes()> mandatory_free;
+  std::function<Bytes()> voluntary_free;
+};
+
+struct MonitorConfig {
+  Duration period = seconds(2);  // update interval (configurable, §IV)
+};
+
+/// Periodic publisher of one node's resources into the KV store.
+class ResourceMonitor {
+ public:
+  ResourceMonitor(overlay::ChimeraNode& node, kv::KvStore& kv, BinWatcher watcher,
+                  MonitorConfig config = {})
+      : node_(node), kv_(kv), watcher_(std::move(watcher)), config_(config) {}
+
+  /// Starts the periodic update loop (detached on the simulation).
+  void start();
+
+  /// Takes one sample from the live host state.
+  ResourceRecord sample() const;
+
+  /// Publishes a sample immediately (also used at startup so records exist
+  /// before the first period elapses).
+  sim::Task<> publish_once();
+
+  std::uint64_t updates_published() const { return updates_; }
+
+  /// Manually set the uplink estimate (wired by the home-cloud builder from
+  /// the node's access-link capacity).
+  void set_uplink_estimate(Rate r) { uplink_ = r; }
+
+ private:
+  sim::Task<> loop();
+
+  overlay::ChimeraNode& node_;
+  kv::KvStore& kv_;
+  BinWatcher watcher_;
+  MonitorConfig config_;
+  Rate uplink_ = 0;
+  std::uint64_t updates_ = 0;
+};
+
+/// Reads another node's most recent record from the KV store.
+sim::Task<Result<ResourceRecord>> fetch_record(kv::KvStore& kv, overlay::ChimeraNode& origin,
+                                               Key node);
+
+}  // namespace c4h::mon

@@ -1,0 +1,92 @@
+// Max-min fair bandwidth allocation with per-flow rate caps
+// (progressive filling / water-filling).
+//
+// Given link capacities and the set of links each flow traverses, computes
+// the classic max-min fair allocation: rates are raised together until a
+// link saturates or a flow hits its own cap; saturated flows freeze and the
+// rest continue. This is the standard flow-level model of TCP bandwidth
+// sharing on a shared bottleneck (home LAN vs the thin cloud uplink).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "src/common/units.hpp"
+
+namespace c4h::net {
+
+struct FairFlowDesc {
+  std::vector<std::uint32_t> links;  // indices into the capacity vector
+  Rate cap = std::numeric_limits<Rate>::infinity();  // per-flow rate cap
+};
+
+/// Returns one rate per flow. Flows with an empty link list (loopback) get
+/// their own cap. O(iterations × flows × links); fine at home-cloud scale.
+inline std::vector<Rate> max_min_fair_rates(const std::vector<Rate>& link_capacity,
+                                            const std::vector<FairFlowDesc>& flows) {
+  const std::size_t nf = flows.size();
+  std::vector<Rate> rate(nf, 0.0);
+  std::vector<bool> frozen(nf, false);
+
+  // Loopback flows are bounded only by their own cap.
+  for (std::size_t f = 0; f < nf; ++f) {
+    if (flows[f].links.empty()) {
+      rate[f] = flows[f].cap;
+      frozen[f] = true;
+    }
+  }
+
+  std::vector<Rate> used(link_capacity.size(), 0.0);
+
+  for (;;) {
+    // Count unfrozen flows per link and find the tightest constraint.
+    std::vector<std::uint32_t> active(link_capacity.size(), 0);
+    bool any_unfrozen = false;
+    for (std::size_t f = 0; f < nf; ++f) {
+      if (frozen[f]) continue;
+      any_unfrozen = true;
+      for (const auto l : flows[f].links) ++active[l];
+    }
+    if (!any_unfrozen) break;
+
+    // Headroom per active link / flow count = the equal increment each
+    // unfrozen flow could still receive from that link.
+    double increment = std::numeric_limits<double>::infinity();
+    for (std::size_t l = 0; l < link_capacity.size(); ++l) {
+      if (active[l] == 0) continue;
+      increment = std::min(increment, (link_capacity[l] - used[l]) / active[l]);
+    }
+    // A flow's own cap may bind before any link.
+    for (std::size_t f = 0; f < nf; ++f) {
+      if (!frozen[f]) increment = std::min(increment, flows[f].cap - rate[f]);
+    }
+    if (increment < 0) increment = 0;
+
+    // Raise every unfrozen flow by the increment.
+    for (std::size_t f = 0; f < nf; ++f) {
+      if (frozen[f]) continue;
+      rate[f] += increment;
+      for (const auto l : flows[f].links) used[l] += increment;
+    }
+
+    // Freeze flows that hit their cap or traverse a saturated link.
+    constexpr double kEps = 1e-7;
+    bool froze_any = false;
+    for (std::size_t f = 0; f < nf; ++f) {
+      if (frozen[f]) continue;
+      bool saturated = rate[f] >= flows[f].cap - kEps;
+      for (const auto l : flows[f].links) {
+        if (used[l] >= link_capacity[l] - kEps) saturated = true;
+      }
+      if (saturated) {
+        frozen[f] = true;
+        froze_any = true;
+      }
+    }
+    if (!froze_any) break;  // numerical safety; should not happen
+  }
+  return rate;
+}
+
+}  // namespace c4h::net

@@ -1,0 +1,187 @@
+#include "src/net/network.hpp"
+
+#include <algorithm>
+
+namespace c4h::net {
+
+namespace {
+constexpr double kByteEps = 0.5;  // flows within half a byte of done are done
+}
+
+sim::Task<> Network::transfer(NetNodeId src, NetNodeId dst, Bytes size, TcpProfile profile) {
+  ++stats_.flows_started;
+  // Connection setup: handshake plus one-way path latency before data flows.
+  const Duration setup = profile.handshake + sample_message_latency(src, dst, 0);
+  co_await sim_.delay(setup);
+
+  if (src == dst) {
+    ++stats_.flows_completed;
+    stats_.bytes_delivered += static_cast<double>(size);
+    co_return;
+  }
+
+  const auto& path = topo_.route(src, dst);
+  sim::Event done{sim_};
+  add_flow(path, size, profile, [&done] { done.fire(); });
+  co_await done.wait();
+  ++stats_.flows_completed;
+  stats_.bytes_delivered += static_cast<double>(size);
+}
+
+sim::Task<> Network::transfer_striped(NetNodeId src, NetNodeId dst, Bytes size,
+                                      TcpProfile profile, int streams) {
+  if (streams <= 1 || size == 0) {
+    co_await transfer(src, dst, size, profile);
+    co_return;
+  }
+  const auto n = static_cast<Bytes>(streams);
+  const Bytes base = size / n;
+  std::vector<sim::Task<>> stripes;
+  stripes.reserve(static_cast<std::size_t>(streams));
+  for (Bytes i = 0; i < n; ++i) {
+    const Bytes stripe = base + (i == 0 ? size % n : 0);  // remainder on stripe 0
+    // Each stripe restarts slow start and is policed independently: the
+    // per-flow phase thresholds apply to the (smaller) stripe, which is
+    // precisely why striping helps window/policing-limited paths.
+    stripes.push_back(transfer(src, dst, stripe, profile));
+  }
+  sim::Simulation& s = sim_;
+  co_await sim::when_all(s, std::move(stripes));
+}
+
+sim::Task<> Network::send_message(NetNodeId src, NetNodeId dst, Bytes size) {
+  ++stats_.messages_sent;
+  co_await sim_.delay(sample_message_latency(src, dst, size));
+}
+
+Duration Network::sample_message_latency(NetNodeId src, NetNodeId dst, Bytes size) {
+  if (src == dst) return hop_processing_;
+  Duration lat{};
+  for (const LinkId lid : topo_.route(src, dst)) {
+    const Link& l = topo_.link(lid);
+    double mult = 1.0;
+    if (l.latency_jitter > 0) {
+      mult = std::clamp(rng_.lognormal_mean(1.0, l.latency_jitter), 0.2, 8.0);
+    }
+    lat += from_seconds(to_seconds(l.latency) * mult);
+    lat += hop_processing_;
+    // Serialization of the message itself; negligible for command packets
+    // but kept for correctness on slow links.
+    if (size > 0 && l.capacity > 0) lat += transfer_time(size, l.capacity);
+  }
+  return lat;
+}
+
+void Network::set_link_capacity(LinkId link, Rate capacity) {
+  topo_.set_link_capacity(link, capacity);
+  // Flows whose bottleneck this was must slow down (or speed up) from this
+  // instant; recompute() first credits everyone's progress at the old rates.
+  recompute();
+}
+
+Rate Network::link_load(LinkId link) const {
+  Rate r = 0;
+  for (const auto& [id, f] : flows_) {
+    if (std::find(f.links.begin(), f.links.end(), link) != f.links.end()) r += f.rate;
+  }
+  return r;
+}
+
+std::uint64_t Network::add_flow(const std::vector<LinkId>& links, Bytes size, TcpProfile profile,
+                                std::function<void()> on_complete) {
+  const std::uint64_t id = next_flow_id_++;
+  Flow f;
+  f.id = id;
+  f.links = links;
+  f.total = static_cast<double>(size);
+  f.profile = profile;
+  f.last_update = sim_.now();
+  f.on_complete = std::move(on_complete);
+  // Per-flow WAN variability: one multiplier for the flow's lifetime, drawn
+  // from the most variable link on the path. Link capacities are nominal
+  // *average* bandwidth; the multiplier models the burst/lull a given flow
+  // actually experiences (the paper's uplink: ~1.5 Mbps average, bursts to
+  // several times that).
+  double sigma = 0;
+  for (const LinkId lid : links) {
+    sigma = std::max(sigma, topo_.link(lid).rate_jitter);
+  }
+  if (sigma > 0) f.jitter_mult = std::clamp(rng_.lognormal_mean(1.0, sigma), 0.25, 3.0);
+  flows_.emplace(id, std::move(f));
+  recompute();
+  return id;
+}
+
+void Network::advance_progress() {
+  const TimePoint now = sim_.now();
+  for (auto& [id, f] : flows_) {
+    const double elapsed = to_seconds(now - f.last_update);
+    if (elapsed > 0) f.done = std::min(f.total, f.done + elapsed * f.rate);
+    f.last_update = now;
+  }
+}
+
+void Network::recompute() {
+  advance_progress();
+
+  // Retire completed flows (their completion callbacks may start new
+  // transfers synchronously; those re-enter recompute via add_flow, so
+  // collect callbacks first).
+  std::vector<std::function<void()>> completed;
+  for (auto it = flows_.begin(); it != flows_.end();) {
+    Flow& f = it->second;
+    if (f.total - f.done <= kByteEps) {
+      sim_.cancel(f.next_event);
+      completed.push_back(std::move(f.on_complete));
+      it = flows_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+
+  // Solve max-min rates for the remaining flows.
+  std::vector<Rate> caps(topo_.link_count());
+  for (LinkId l = 0; l < caps.size(); ++l) caps[l] = topo_.link(l).capacity;
+
+  std::vector<std::uint64_t> ids;
+  std::vector<FairFlowDesc> descs;
+  ids.reserve(flows_.size());
+  descs.reserve(flows_.size());
+  for (auto& [id, f] : flows_) {
+    ids.push_back(id);
+    FairFlowDesc d;
+    d.links = f.links;
+    const auto sent = static_cast<Bytes>(f.done);
+    // The phase fraction (slow start / policing) and the jitter multiplier
+    // scale whichever constraint binds for this flow — the TCP window or the
+    // bottleneck link's nominal rate — so both shape the throughput even on
+    // window-unconstrained paths. The bottleneck is re-read every solve so
+    // runtime capacity changes take effect on in-flight flows.
+    Rate bottleneck = std::numeric_limits<Rate>::infinity();
+    for (const LinkId lid : f.links) {
+      bottleneck = std::min(bottleneck, topo_.link(lid).capacity);
+    }
+    d.cap = std::min(f.profile.steady_rate(), bottleneck) *
+            f.profile.phase_fraction(sent) * f.jitter_mult;
+    descs.push_back(std::move(d));
+  }
+  const std::vector<Rate> rates = max_min_fair_rates(caps, descs);
+
+  // Reschedule each flow's next event: completion or TCP phase boundary.
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    Flow& f = flows_.at(ids[i]);
+    f.rate = rates[i];
+    sim_.cancel(f.next_event);
+    if (f.rate <= 0) continue;  // parked until some other event frees capacity
+    double bytes_to_event = f.total - f.done;
+    if (const auto b = f.profile.next_phase_boundary(static_cast<Bytes>(f.done))) {
+      bytes_to_event = std::min(bytes_to_event, static_cast<double>(*b) - f.done);
+    }
+    const Duration dt = from_seconds(std::max(bytes_to_event, 0.0) / f.rate);
+    f.next_event = sim_.schedule(dt, [this] { recompute(); });
+  }
+
+  for (auto& cb : completed) cb();
+}
+
+}  // namespace c4h::net

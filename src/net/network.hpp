@@ -1,0 +1,108 @@
+// Flow-level network engine.
+//
+// Large object transfers are modelled as fluid flows: every flow traverses a
+// fixed path of links, all concurrent flows share link capacity max-min
+// fairly, and each flow additionally respects its TCP-model rate cap (slow
+// start / window cap / ISP policing) and a per-flow stochastic rate
+// multiplier for WAN variability. Flow rates are piecewise constant between
+// "network events" (flow arrivals, completions, TCP phase changes); at each
+// event every flow's progress is advanced and rates are re-solved.
+//
+// Small control messages (VStore++ commands are < 50 bytes, §IV) are pure
+// latency: they never book bandwidth.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+
+#include "src/common/log.hpp"
+#include "src/common/rng.hpp"
+#include "src/net/fairshare.hpp"
+#include "src/net/tcp_model.hpp"
+#include "src/net/topology.hpp"
+#include "src/sim/simulation.hpp"
+#include "src/sim/sync.hpp"
+
+namespace c4h::net {
+
+struct NetworkStats {
+  std::uint64_t flows_started = 0;
+  std::uint64_t flows_completed = 0;
+  std::uint64_t messages_sent = 0;
+  double bytes_delivered = 0;
+};
+
+class Network {
+ public:
+  Network(sim::Simulation& sim, Topology topology)
+      : sim_(sim), topo_(std::move(topology)), rng_(sim.rng().fork()) {}
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  const Topology& topology() const { return topo_; }
+
+  /// Transfers `size` bytes from `src` to `dst`; completes when the last
+  /// byte is delivered. Loopback (src == dst) costs only the handshake.
+  sim::Task<> transfer(NetNodeId src, NetNodeId dst, Bytes size, TcpProfile profile = {});
+
+  /// Striped transfer: splits the object across `streams` parallel
+  /// connections and completes when the last byte of the last stripe
+  /// lands. Each stripe is its own TCP flow, so window-capped WAN paths
+  /// gain up to streams× until the link itself saturates — the paper's
+  /// future-work "better object transfer protocols" (§VII).
+  sim::Task<> transfer_striped(NetNodeId src, NetNodeId dst, Bytes size, TcpProfile profile,
+                               int streams);
+
+  /// Sends a small control message: path latency (with jitter) plus a fixed
+  /// per-hop processing cost; no bandwidth is booked.
+  sim::Task<> send_message(NetNodeId src, NetNodeId dst, Bytes size = 50);
+
+  /// One-way message latency sample (used by send_message).
+  Duration sample_message_latency(NetNodeId src, NetNodeId dst, Bytes size);
+
+  /// Current aggregate rate of flows crossing `link` (bytes/sec).
+  Rate link_load(LinkId link) const;
+
+  /// Changes a link's capacity mid-simulation; in-flight flows are advanced
+  /// at their old rates and immediately re-solved at the new capacity.
+  void set_link_capacity(LinkId link, Rate capacity);
+
+  /// Number of in-flight flows.
+  std::size_t active_flows() const { return flows_.size(); }
+
+  const NetworkStats& stats() const { return stats_; }
+
+  /// Fixed per-hop store-and-forward / processing cost for messages.
+  void set_hop_processing(Duration d) { hop_processing_ = d; }
+
+ private:
+  struct Flow {
+    std::uint64_t id;
+    std::vector<LinkId> links;
+    double total;           // bytes
+    double done = 0;        // bytes delivered
+    TcpProfile profile;
+    double jitter_mult = 1.0;
+    Rate rate = 0;
+    TimePoint last_update{};
+    sim::EventId next_event;
+    std::function<void()> on_complete;
+  };
+
+  std::uint64_t add_flow(const std::vector<LinkId>& links, Bytes size, TcpProfile profile,
+                         std::function<void()> on_complete);
+  void advance_progress();
+  void recompute();
+
+  sim::Simulation& sim_;
+  Topology topo_;
+  Rng rng_;
+  Duration hop_processing_ = microseconds(100);
+  std::uint64_t next_flow_id_ = 1;
+  std::unordered_map<std::uint64_t, Flow> flows_;
+  NetworkStats stats_;
+};
+
+}  // namespace c4h::net

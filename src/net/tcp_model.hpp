@@ -1,0 +1,73 @@
+// TCP throughput model for remote-cloud transfers.
+//
+// Figure 5 of the paper attributes the rise-then-fall of remote throughput
+// vs object size to three transport effects:
+//   1. short transfers spend most bytes in slow start → low average rate;
+//   2. mid-size transfers run at the provider's window cap (S3 grows the TCP
+//      window up to ~1.6 MB) → best rate;
+//   3. long "bandwidth-hogging" transfers trip ISP traffic shaping / rate
+//      policing → degraded rate.
+// We model a flow's instantaneous rate cap as a piecewise-constant function
+// of bytes already sent, with those three phases.
+#pragma once
+
+#include <algorithm>
+#include <optional>
+
+#include "src/common/units.hpp"
+
+namespace c4h::net {
+
+struct TcpProfile {
+  Duration rtt{};                       // round-trip time of the path
+  Bytes window_cap = 1638400;           // max TCP window (S3: ~1.6 MB)
+  Bytes slow_start_bytes = 0;           // bytes transferred before window cap is reached
+  double slow_start_fraction = 0.5;     // average rate fraction during slow start
+  Bytes policing_burst = 0;             // token-bucket burst; 0 disables policing
+  double policed_fraction = 1.0;        // rate fraction once policed
+  Duration handshake{};                 // connection setup (SYN + request)
+
+  /// Steady-state window-limited rate (bytes/sec).
+  Rate steady_rate() const {
+    if (rtt <= Duration::zero()) return 1e18;  // effectively uncapped
+    return static_cast<double>(window_cap) / to_seconds(rtt);
+  }
+
+  /// Phase multiplier when `sent` bytes have already been transferred. The
+  /// slow-start and policing fractions scale whatever constraint actually
+  /// binds (TCP window or the access link): ISP policers sit on the access
+  /// link, so they throttle relative to its rate, not the window-derived
+  /// ceiling.
+  double phase_fraction(Bytes sent) const {
+    if (sent < slow_start_bytes) return slow_start_fraction;
+    if (policing_burst > 0 && sent >= policing_burst) return policed_fraction;
+    return 1.0;
+  }
+
+  /// Rate cap from the TCP window alone (phase-adjusted).
+  Rate rate_cap(Bytes sent) const { return steady_rate() * phase_fraction(sent); }
+
+  /// Byte offset of the next cap change after `sent`, if any.
+  std::optional<Bytes> next_phase_boundary(Bytes sent) const {
+    if (sent < slow_start_bytes) return slow_start_bytes;
+    if (policing_burst > 0 && sent < policing_burst) return policing_burst;
+    return std::nullopt;
+  }
+};
+
+/// Closed-form transfer time under the phase model with a fixed available
+/// bandwidth `avail` (used by tests to cross-check the event-driven path).
+inline Duration analytic_transfer_time(const TcpProfile& p, Bytes size, Rate avail) {
+  Duration t = p.handshake;
+  Bytes sent = 0;
+  while (sent < size) {
+    const Rate r = std::min(avail, p.steady_rate()) * p.phase_fraction(sent);
+    const auto boundary = p.next_phase_boundary(sent);
+    const Bytes upto = boundary ? std::min<Bytes>(*boundary, size) : size;
+    t += transfer_time(upto - sent, r);
+    sent = upto;
+  }
+  return t;
+}
+
+}  // namespace c4h::net

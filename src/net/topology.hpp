@@ -1,0 +1,150 @@
+// Network topology: nodes joined by directed links with a rate capacity,
+// propagation latency, and (for WAN links) jitter parameters.
+//
+// The prototype's network (§V): a 95.5 Mbps home Ethernet LAN and a shared
+// wireless/Internet uplink to the public cloud (~6.5 Mbps down / 4.5 Mbps up
+// max, ~1.5 Mbps average). Higher layers build that shape with a switch node
+// and a gateway node.
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+#include <cstdint>
+#include <limits>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/units.hpp"
+
+namespace c4h::net {
+
+struct NetNodeId {
+  std::uint32_t v = UINT32_MAX;
+  bool valid() const { return v != UINT32_MAX; }
+  friend bool operator==(NetNodeId a, NetNodeId b) { return a.v == b.v; }
+};
+
+using LinkId = std::uint32_t;
+
+struct Link {
+  NetNodeId from;
+  NetNodeId to;
+  Rate capacity = 0;          // bytes/sec
+  Duration latency{};         // propagation delay
+  double latency_jitter = 0;  // lognormal sigma applied per message
+  double rate_jitter = 0;     // lognormal sigma applied per flow
+};
+
+/// Static topology with precomputed lowest-latency routes.
+class Topology {
+ public:
+  NetNodeId add_node() {
+    adjacency_.emplace_back();
+    routes_dirty_ = true;
+    return NetNodeId{static_cast<std::uint32_t>(adjacency_.size() - 1)};
+  }
+
+  /// Adds a unidirectional link.
+  LinkId add_link(NetNodeId from, NetNodeId to, Rate capacity, Duration latency,
+                  double latency_jitter = 0.0, double rate_jitter = 0.0) {
+    assert(from.v < adjacency_.size() && to.v < adjacency_.size());
+    const auto id = static_cast<LinkId>(links_.size());
+    links_.push_back(Link{from, to, capacity, latency, latency_jitter, rate_jitter});
+    adjacency_[from.v].push_back(id);
+    routes_dirty_ = true;
+    return id;
+  }
+
+  /// Adds a full-duplex link (two directed links); returns {fwd, rev}.
+  std::pair<LinkId, LinkId> add_duplex(NetNodeId a, NetNodeId b, Rate capacity, Duration latency,
+                                       double latency_jitter = 0.0, double rate_jitter = 0.0) {
+    return {add_link(a, b, capacity, latency, latency_jitter, rate_jitter),
+            add_link(b, a, capacity, latency, latency_jitter, rate_jitter)};
+  }
+
+  std::size_t node_count() const { return adjacency_.size(); }
+  std::size_t link_count() const { return links_.size(); }
+  const Link& link(LinkId id) const { return links_.at(id); }
+
+  /// Changes a link's nominal capacity at runtime (changing network
+  /// conditions — a congested uplink, a throttled ISP). Routing is latency-
+  /// based and unaffected; flow rates must be re-solved by the caller.
+  void set_link_capacity(LinkId id, Rate capacity) { links_.at(id).capacity = capacity; }
+
+  /// Lowest-latency path (sequence of link ids) from `src` to `dst`.
+  /// Empty for src == dst; asserts a route exists otherwise.
+  const std::vector<LinkId>& route(NetNodeId src, NetNodeId dst) const {
+    if (routes_dirty_) {
+      rebuild_routes();
+      routes_dirty_ = false;
+    }
+    const auto key = (std::uint64_t{src.v} << 32) | dst.v;
+    const auto it = routes_.find(key);
+    assert(it != routes_.end() && "no route between nodes");
+    return it->second;
+  }
+
+  bool has_route(NetNodeId src, NetNodeId dst) const {
+    if (routes_dirty_) {
+      rebuild_routes();
+      routes_dirty_ = false;
+    }
+    return routes_.contains((std::uint64_t{src.v} << 32) | dst.v);
+  }
+
+  /// Sum of link propagation latencies along the path.
+  Duration path_latency(NetNodeId src, NetNodeId dst) const {
+    Duration d{};
+    for (const LinkId l : route(src, dst)) d += links_[l].latency;
+    return d;
+  }
+
+ private:
+  void rebuild_routes() const {
+    routes_.clear();
+    const auto n = adjacency_.size();
+    for (std::uint32_t s = 0; s < n; ++s) {
+      // Dijkstra over latency.
+      std::vector<Duration> dist(n, Duration::max());
+      std::vector<LinkId> via(n, UINT32_MAX);
+      using QE = std::pair<Duration, std::uint32_t>;
+      std::priority_queue<QE, std::vector<QE>, std::greater<>> pq;
+      dist[s] = Duration::zero();
+      pq.push({Duration::zero(), s});
+      while (!pq.empty()) {
+        const auto [d, u] = pq.top();
+        pq.pop();
+        if (d > dist[u]) continue;
+        for (const LinkId lid : adjacency_[u]) {
+          const Link& l = links_[lid];
+          const Duration nd = d + l.latency;
+          if (nd < dist[l.to.v]) {
+            dist[l.to.v] = nd;
+            via[l.to.v] = lid;
+            pq.push({nd, l.to.v});
+          }
+        }
+      }
+      for (std::uint32_t t = 0; t < n; ++t) {
+        if (dist[t] == Duration::max()) continue;
+        std::vector<LinkId> path;
+        std::uint32_t cur = t;
+        while (cur != s) {
+          const LinkId lid = via[cur];
+          path.push_back(lid);
+          cur = links_[lid].from.v;
+        }
+        std::reverse(path.begin(), path.end());
+        routes_.emplace((std::uint64_t{s} << 32) | t, std::move(path));
+      }
+    }
+  }
+
+  std::vector<Link> links_;
+  std::vector<std::vector<LinkId>> adjacency_;
+  mutable std::unordered_map<std::uint64_t, std::vector<LinkId>> routes_;
+  mutable bool routes_dirty_ = false;
+};
+
+}  // namespace c4h::net

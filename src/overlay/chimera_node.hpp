@@ -1,0 +1,188 @@
+// Per-node routing state of the Chimera-style structured overlay.
+//
+// Chimera [2] is a lightweight C implementation of prefix routing in the
+// style of Tapestry/Pastry. Each node keeps:
+//   * a "logical tree view of other nodes in the overlay, implemented as a
+//     red-black tree" (§III-A) — our RbTree of known peers;
+//   * a Pastry-style prefix routing table (one row per hex digit of the
+//     40-bit key, one column per digit value);
+//   * a leaf set (nearest ring neighbours on both sides), derived from the
+//     tree view.
+// next_hop() makes monotonic progress in ring distance, so routing always
+// terminates, and terminates at the globally closest node whenever ring
+// neighbours know each other (which join/leave/failure handling maintains).
+#pragma once
+
+#include <array>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/common/key.hpp"
+#include "src/common/rbtree.hpp"
+#include "src/net/topology.hpp"
+#include "src/vmm/machine.hpp"
+
+namespace c4h::overlay {
+
+struct PeerInfo {
+  net::NetNodeId net;
+};
+
+class ChimeraNode {
+ public:
+  static constexpr int kLeafRadius = 4;  // leaf set = 4 on each side
+
+  ChimeraNode(Key id, std::string name, vmm::Host& host)
+      : id_(id), name_(std::move(name)), host_(&host) {
+    for (auto& row : rtable_) row.fill(std::nullopt);
+  }
+
+  Key id() const { return id_; }
+  const std::string& name() const { return name_; }
+  vmm::Host& host() const { return *host_; }
+  bool online() const { return host_->online(); }
+  net::NetNodeId net_node() const { return host_->net_node(); }
+
+  std::size_t peer_count() const { return peers_.size(); }
+  bool knows(Key k) const { return peers_.contains(k); }
+
+  void add_peer(Key k, PeerInfo info) {
+    if (k == id_) return;
+    peers_.insert(k, info);
+    // Routing table slot: row = length of shared prefix, column = the
+    // peer's digit at that position. First writer wins (Pastry keeps any
+    // entry with the right prefix; proximity selection is out of scope).
+    const int row = id_.shared_prefix_len(k);
+    if (row < Key::kDigits) {
+      auto& slot = rtable_[static_cast<std::size_t>(row)][k.digit(row)];
+      if (!slot.has_value() || !peers_.contains(*slot)) slot = k;
+    }
+  }
+
+  void remove_peer(Key k) {
+    peers_.erase(k);
+    const int row = id_.shared_prefix_len(k);
+    if (row < Key::kDigits) {
+      auto& slot = rtable_[static_cast<std::size_t>(row)][k.digit(row)];
+      if (slot == k) slot = std::nullopt;
+    }
+  }
+
+  /// All known peers, in key order.
+  std::vector<Key> known_peers() const {
+    std::vector<Key> out;
+    out.reserve(peers_.size());
+    peers_.for_each([&](const Key& k, const PeerInfo&) { out.push_back(k); });
+    return out;
+  }
+
+  /// The leaf set: up to kLeafRadius ring neighbours on each side, from the
+  /// red-black tree view.
+  std::vector<Key> leaf_set() const {
+    std::vector<Key> out;
+    const auto n = peers_.size();
+    if (n == 0) return out;
+    if (n <= 2 * kLeafRadius) return known_peers();
+
+    // Clockwise: successors of id_ in key order, wrapping.
+    auto* start = peers_.lower_bound(id_);
+    auto* cur = start;
+    for (int i = 0; i < kLeafRadius; ++i) {
+      if (cur == nullptr) cur = peers_.min();
+      out.push_back(cur->key);
+      cur = Tree::next(cur);
+    }
+    // Counter-clockwise: predecessors, wrapping.
+    cur = start != nullptr ? Tree::prev(start) : peers_.max();
+    for (int i = 0; i < kLeafRadius; ++i) {
+      if (cur == nullptr) cur = peers_.max();
+      out.push_back(cur->key);
+      cur = Tree::prev(cur);
+    }
+    return out;
+  }
+
+  /// Ring neighbours: the immediate clockwise and counterclockwise peers
+  /// ("a message to its right and left nodes in the logical tree").
+  std::optional<Key> right_neighbor() const {
+    if (peers_.empty()) return std::nullopt;
+    auto* n = peers_.lower_bound(id_);
+    return n != nullptr ? n->key : peers_.min()->key;
+  }
+  std::optional<Key> left_neighbor() const {
+    if (peers_.empty()) return std::nullopt;
+    auto* n = peers_.lower_bound(id_);
+    auto* p = n != nullptr ? Tree::prev(n) : peers_.max();
+    if (p == nullptr) p = peers_.max();
+    return p->key;
+  }
+
+  /// Next hop toward `target`: prefix-routing with leaf-set shortcut and a
+  /// numeric-progress fallback. Returns id() when this node is (as far as it
+  /// knows) the owner.
+  Key next_hop(Key target) const {
+    if (peers_.empty() || target == id_) return id_;
+
+    const std::uint64_t self_dist = id_.ring_distance(target);
+
+    // Leaf-set shortcut: if a leaf (or we) is closest, deliver there.
+    Key best = id_;
+    std::uint64_t best_dist = self_dist;
+    for (const Key l : leaf_set()) {
+      const auto d = l.ring_distance(target);
+      if (d < best_dist || (d == best_dist && l < best)) {
+        best = l;
+        best_dist = d;
+      }
+    }
+
+    // Prefix routing: a peer sharing a strictly longer prefix with target.
+    const int self_prefix = id_.shared_prefix_len(target);
+    if (self_prefix < Key::kDigits) {
+      const auto& slot =
+          rtable_[static_cast<std::size_t>(self_prefix)][target.digit(self_prefix)];
+      if (slot.has_value() && peers_.contains(*slot)) {
+        const auto d = slot->ring_distance(target);
+        if (d < best_dist) {
+          best = *slot;
+          best_dist = d;
+        }
+      }
+    }
+
+    if (best != id_ && best_dist < self_dist) return best;
+
+    // Fallback: scan the tree view for any strictly closer node (rare; keeps
+    // progress when the table is sparse).
+    peers_.for_each([&](const Key& k, const PeerInfo&) {
+      const auto d = k.ring_distance(target);
+      if (d < best_dist || (d == best_dist && k < best)) {
+        best = k;
+        best_dist = d;
+      }
+    });
+    // Equidistant nodes (one on each side of the key) resolve to the smaller
+    // id, matching the global owner definition; this also guarantees the
+    // tie-forwarding step cannot cycle.
+    if (best_dist < self_dist) return best;
+    if (best_dist == self_dist && best < id_) return best;
+    return id_;
+  }
+
+  const PeerInfo* peer(Key k) const {
+    auto* n = peers_.find(k);
+    return n != nullptr ? &n->value : nullptr;
+  }
+
+ private:
+  using Tree = RbTree<Key, PeerInfo>;
+
+  Key id_;
+  std::string name_;
+  vmm::Host* host_;
+  Tree peers_;
+  std::array<std::array<std::optional<Key>, 16>, Key::kDigits> rtable_;
+};
+
+}  // namespace c4h::overlay

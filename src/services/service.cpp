@@ -1,0 +1,60 @@
+#include "src/services/service.hpp"
+
+namespace c4h::services {
+
+sim::Task<Bytes> execute_service(const ServiceProfile& profile, vmm::Domain& domain,
+                                 Bytes input) {
+  const double slow = vmm::memory_slowdown(profile.working_set_for(input), domain.memory());
+  const double work = profile.work_for(input) * slow;
+  co_await domain.host().execute(domain, work, profile.parallelism);
+  co_return profile.output_size(input);
+}
+
+ServiceProfile face_detect_profile() {
+  ServiceProfile p;
+  p.name = "face-detect";
+  p.id = 1;
+  p.fixed_gigacycles = 0.02;
+  p.gigacycles_per_mib = 0.4;   // cascade scan over the image
+  p.gigacycles_per_mib2 = 0.5;  // window pyramid grows super-linearly
+  p.working_set_base = 20_MB;
+  p.working_set_per_input = 2.0;  // image + integral images
+  p.parallelism = 4;              // scales across windows
+  p.output_ratio = 1.0;           // annotated image, same size regime
+  p.min_memory = 64_MB;
+  p.min_ghz = 0.5;
+  return p;
+}
+
+ServiceProfile face_recognize_profile(Bytes training_set) {
+  ServiceProfile p;
+  p.name = "face-recognize";
+  p.id = 2;
+  p.fixed_gigacycles = 0.05;
+  p.gigacycles_per_mib = 0.8;   // projection against the training gallery
+  p.gigacycles_per_mib2 = 1.1;  // eigen-decomposition cost per resolution
+  p.working_set_base = training_set;
+  p.working_set_per_input = 95.0;  // eigen-space blowup per input byte
+  p.parallelism = 2;               // memory-bound; little thread scaling
+  p.output_ratio = 0.0;            // output is just the best-match id
+  p.min_memory = 96_MB;
+  p.min_ghz = 0.5;
+  return p;
+}
+
+ServiceProfile x264_profile() {
+  ServiceProfile p;
+  p.name = "x264-transcode";
+  p.id = 3;
+  p.fixed_gigacycles = 0.5;     // muxer/encoder setup
+  p.gigacycles_per_mib = 8.0;   // CPU-intensive encode
+  p.working_set_base = 48_MB;
+  p.working_set_per_input = 0.2;  // streaming; small window of frames
+  p.parallelism = 4;              // slice threads
+  p.output_ratio = 0.4;           // downconversion shrinks the file
+  p.min_memory = 96_MB;
+  p.min_ghz = 0.8;
+  return p;
+}
+
+}  // namespace c4h::services

@@ -1,0 +1,103 @@
+// Data-manipulation services and their profiles (§III-A, §IV).
+//
+// VStore++ associates processing with object access: face detection (CPU-
+// intensive) and face recognition (memory-intensive, needs the training
+// set) for home surveillance, and x264 transcoding for media conversion.
+// "Additional service information is maintained in service profiles, which
+// encode the minimum resource requirements for a service for a given SLA
+// for the different types of nodes. Our current assumption is that such
+// profiles are determined a priori."
+//
+// A profile models a service's cost as work (gigacycles) that is affine in
+// the input size, a usable parallelism bound, and a working set; execution
+// on a domain pays the memory-thrash multiplier when the working set
+// exceeds the domain's memory (how Fig 7's S2 falls over on 2 MB images).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "src/common/serial.hpp"
+#include "src/common/units.hpp"
+#include "src/sim/task.hpp"
+#include "src/vmm/machine.hpp"
+
+namespace c4h::services {
+
+struct ServiceProfile {
+  std::string name;
+  std::uint32_t id = 0;
+
+  // Work model: gigacycles = fixed + per_mib × MiB + per_mib2 × MiB².
+  // The quadratic term captures super-linear kernels (e.g. multi-scale
+  // sliding-window detection, whose window count grows with pixel count at
+  // every pyramid level).
+  double fixed_gigacycles = 0.0;
+  double gigacycles_per_mib = 1.0;
+  double gigacycles_per_mib2 = 0.0;
+
+  // Memory model: working set = base + per_input_byte × input bytes.
+  Bytes working_set_base = 16_MB;
+  double working_set_per_input = 1.0;
+
+  int parallelism = 1;        // max threads the service can use
+  double output_ratio = 1.0;  // |output| = ratio × |input|
+
+  // Minimum resource requirements (the profile's per-SLA floor).
+  Bytes min_memory = 64_MB;
+  double min_ghz = 0.5;
+
+  double work_for(Bytes input) const {
+    const double mib = to_mib(input);
+    return fixed_gigacycles + gigacycles_per_mib * mib + gigacycles_per_mib2 * mib * mib;
+  }
+
+  Bytes working_set_for(Bytes input) const {
+    return working_set_base +
+           static_cast<Bytes>(working_set_per_input * static_cast<double>(input));
+  }
+
+  Bytes output_size(Bytes input) const {
+    return static_cast<Bytes>(output_ratio * static_cast<double>(input));
+  }
+
+  /// Whether a domain meets this profile's minimum requirements.
+  bool admissible(const vmm::Domain& d) const {
+    return d.memory() >= min_memory && d.host().spec().ghz * d.vcpus() >= min_ghz;
+  }
+
+  /// Estimated execution time on a domain assuming no competing load — the
+  /// estimate the decision engine uses ("the service processing requirements
+  /// and execution time ... maintained for each node as part of the service
+  /// profile").
+  Duration estimate(const vmm::Domain& d, Bytes input) const {
+    const int threads = std::max(1, std::min(parallelism, d.vcpus()));
+    const double rate =
+        threads * d.host().spec().ghz * (1.0 - d.host().spec().virt_overhead);
+    const double slow = vmm::memory_slowdown(working_set_for(input), d.memory());
+    return from_seconds(work_for(input) * slow / rate);
+  }
+
+  std::string registry_key_name() const { return name + "#" + std::to_string(id); }
+};
+
+/// Executes the service on `domain`, paying the memory-thrash multiplier and
+/// competing with other load on the host. Returns the output object size.
+sim::Task<Bytes> execute_service(const ServiceProfile& profile, vmm::Domain& domain,
+                                 Bytes input);
+
+// --- The paper's three services, with calibrated cost models -------------
+
+/// OpenCV-style face detection: CPU-bound sliding-window scan.
+ServiceProfile face_detect_profile();
+
+/// OpenCV-style face recognition against a training set: memory-bound; the
+/// training set dominates the working set ("the training data for FRec is
+/// usually very large").
+ServiceProfile face_recognize_profile(Bytes training_set = 60_MB);
+
+/// x264 `.avi → .mp4` downconversion: CPU-bound encode; output smaller than
+/// input.
+ServiceProfile x264_profile();
+
+}  // namespace c4h::services

@@ -1,0 +1,163 @@
+// Discrete-event simulation engine.
+//
+// A single priority queue of timed callbacks drives everything: coroutine
+// resumptions, periodic monitors, flow-completion events. Events at equal
+// timestamps run in schedule order (FIFO), which makes every run
+// deterministic for a given seed.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "src/common/rng.hpp"
+#include "src/common/units.hpp"
+#include "src/sim/task.hpp"
+
+namespace c4h::sim {
+
+using c4h::Duration;
+using c4h::TimePoint;
+
+/// Handle for a scheduled callback; allows cancellation.
+struct EventId {
+  std::uint64_t id = 0;
+  bool valid() const { return id != 0; }
+};
+
+class Simulation {
+ public:
+  explicit Simulation(std::uint64_t seed = 1) : rng_(seed) {}
+
+  Simulation(const Simulation&) = delete;
+  Simulation& operator=(const Simulation&) = delete;
+
+  ~Simulation() {
+    // Destroy still-suspended detached coroutines so their frames (and any
+    // RAII state inside) are released.
+    for (void* frame : detached_) {
+      std::coroutine_handle<>::from_address(frame).destroy();
+    }
+  }
+
+  TimePoint now() const { return now_; }
+  Rng& rng() { return rng_; }
+
+  /// Schedules `fn` to run `delay` after now. delay must be >= 0.
+  EventId schedule(Duration delay, std::function<void()> fn) {
+    if (delay < Duration::zero()) delay = Duration::zero();
+    const std::uint64_t id = ++next_id_;
+    queue_.push(QueuedEvent{now_ + delay, id});
+    callbacks_.emplace(id, std::move(fn));
+    return EventId{id};
+  }
+
+  /// Cancels a pending event. Safe to call with an already-fired id.
+  void cancel(EventId ev) { callbacks_.erase(ev.id); }
+
+  bool pending(EventId ev) const { return callbacks_.contains(ev.id); }
+
+  /// Runs one event. Returns false when the queue is empty.
+  bool step() {
+    while (!queue_.empty()) {
+      const QueuedEvent qe = queue_.top();
+      queue_.pop();
+      auto it = callbacks_.find(qe.id);
+      if (it == callbacks_.end()) continue;  // cancelled
+      now_ = qe.at;
+      auto fn = std::move(it->second);
+      callbacks_.erase(it);
+      fn();
+      return true;
+    }
+    return false;
+  }
+
+  /// Runs until no events remain.
+  void run() {
+    while (step()) {}
+  }
+
+  /// Runs events with timestamp <= `t`; advances the clock to exactly `t`.
+  void run_until(TimePoint t) {
+    while (!queue_.empty()) {
+      // Skip cancelled heads without advancing time.
+      const QueuedEvent qe = queue_.top();
+      if (!callbacks_.contains(qe.id)) {
+        queue_.pop();
+        continue;
+      }
+      if (qe.at > t) break;
+      step();
+    }
+    if (now_ < t) now_ = t;
+  }
+
+  /// Detaches a coroutine onto the event loop; it starts at the current
+  /// time (after already-queued events at this time).
+  void spawn(Task<> task) {
+    auto h = task.release();
+    h.promise().detached = true;
+    h.promise().owner = this;
+    detached_.insert(h.address());
+    schedule(Duration::zero(), [h] { h.resume(); });
+  }
+
+  /// Runs the event loop until `task` completes (other events keep firing
+  /// meanwhile). Use instead of run() when periodic processes (monitors,
+  /// stabilization heartbeats) would keep the queue non-empty forever.
+  void run_task(Task<> task) {
+    bool done = false;
+    spawn(detail_mark_done(std::move(task), done));
+    while (!done && step()) {}
+  }
+
+  /// Awaitable pause: co_await sim.delay(d).
+  auto delay(Duration d) {
+    struct Awaiter {
+      Simulation& sim;
+      Duration d;
+      bool await_ready() { return false; }
+      void await_suspend(std::coroutine_handle<> h) {
+        sim.schedule(d, [h] { h.resume(); });
+      }
+      void await_resume() {}
+    };
+    return Awaiter{*this, d};
+  }
+
+ private:
+  friend void detail::deregister_detached(Simulation& sim, void* frame) noexcept;
+
+  static Task<> detail_mark_done(Task<> inner, bool& done) {
+    co_await inner;
+    done = true;
+  }
+
+  struct QueuedEvent {
+    TimePoint at;
+    std::uint64_t id;
+    // Later ids sort after earlier ones at equal time → FIFO.
+    bool operator>(const QueuedEvent& o) const {
+      return at != o.at ? at > o.at : id > o.id;
+    }
+  };
+
+  TimePoint now_{0};
+  std::uint64_t next_id_ = 0;
+  std::priority_queue<QueuedEvent, std::vector<QueuedEvent>, std::greater<>> queue_;
+  std::unordered_map<std::uint64_t, std::function<void()>> callbacks_;
+  std::unordered_set<void*> detached_;
+  Rng rng_;
+};
+
+namespace detail {
+inline void deregister_detached(Simulation& sim, void* frame) noexcept {
+  sim.detached_.erase(frame);
+}
+}  // namespace detail
+
+}  // namespace c4h::sim

@@ -1,0 +1,123 @@
+// Synchronization primitives for simulated processes: broadcast events,
+// bounded-nothing channels (mailboxes), and fan-out/fan-in helpers.
+#pragma once
+
+#include <coroutine>
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "src/sim/simulation.hpp"
+#include "src/sim/task.hpp"
+
+namespace c4h::sim {
+
+/// One-shot (resettable) broadcast event. Waiters resume, in wait order, at
+/// the simulated time fire() is called.
+class Event {
+ public:
+  explicit Event(Simulation& sim) : sim_(&sim) {}
+
+  bool fired() const { return fired_; }
+
+  void fire() {
+    if (fired_) return;
+    fired_ = true;
+    for (auto h : waiters_) {
+      sim_->schedule(Duration::zero(), [h] { h.resume(); });
+    }
+    waiters_.clear();
+  }
+
+  void reset() { fired_ = false; }
+
+  auto wait() {
+    struct Awaiter {
+      Event& ev;
+      bool await_ready() { return ev.fired_; }
+      void await_suspend(std::coroutine_handle<> h) { ev.waiters_.push_back(h); }
+      void await_resume() {}
+    };
+    return Awaiter{*this};
+  }
+
+ private:
+  Simulation* sim_;
+  bool fired_ = false;
+  std::vector<std::coroutine_handle<>> waiters_;
+};
+
+/// Unbounded FIFO channel (mailbox). Multiple producers, multiple consumers;
+/// each item goes to exactly one consumer, in arrival order.
+template <typename T>
+class Channel {
+ public:
+  explicit Channel(Simulation& sim) : sim_(&sim) {}
+
+  void push(T item) {
+    items_.push_back(std::move(item));
+    if (!waiters_.empty()) {
+      auto h = waiters_.front();
+      waiters_.pop_front();
+      sim_->schedule(Duration::zero(), [h] { h.resume(); });
+    }
+  }
+
+  std::size_t size() const { return items_.size(); }
+  bool empty() const { return items_.empty(); }
+
+  /// co_await pop() — suspends until an item is available.
+  auto pop() {
+    struct Awaiter {
+      Channel& ch;
+      bool await_ready() { return !ch.items_.empty(); }
+      bool await_suspend(std::coroutine_handle<> h) {
+        if (!ch.items_.empty()) return false;  // raced with a push at resume
+        ch.waiters_.push_back(h);
+        return true;
+      }
+      T await_resume() {
+        // An item may have been consumed by another waiter between our
+        // wake-up being scheduled and running; in that case re-check is the
+        // caller's loop's job — but with FIFO wakeups one push resumes one
+        // waiter, so an item is always present here.
+        T v = std::move(ch.items_.front());
+        ch.items_.pop_front();
+        return v;
+      }
+    };
+    return Awaiter{*this};
+  }
+
+ private:
+  Simulation* sim_;
+  std::deque<T> items_;
+  std::deque<std::coroutine_handle<>> waiters_;
+};
+
+namespace detail {
+
+struct JoinState {
+  std::size_t remaining;
+  Event done;
+  JoinState(Simulation& sim, std::size_t n) : remaining(n), done(sim) {}
+};
+
+inline Task<> run_and_count(Task<> t, std::shared_ptr<JoinState> st) {
+  co_await t;
+  if (--st->remaining == 0) st->done.fire();
+}
+
+}  // namespace detail
+
+/// Runs all tasks concurrently; completes when every one has finished.
+inline Task<> when_all(Simulation& sim, std::vector<Task<>> tasks) {
+  if (tasks.empty()) co_return;
+  auto st = std::make_shared<detail::JoinState>(sim, tasks.size());
+  for (auto& t : tasks) {
+    sim.spawn(detail::run_and_count(std::move(t), st));
+  }
+  co_await st->done.wait();
+}
+
+}  // namespace c4h::sim

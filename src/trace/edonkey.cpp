@@ -1,0 +1,87 @@
+#include "src/trace/edonkey.hpp"
+
+#include <cassert>
+
+namespace c4h::trace {
+
+namespace {
+
+const char* pick_type(Rng& rng, const TraceConfig& cfg) {
+  if (rng.chance(cfg.p_mp3)) return "mp3";
+  static constexpr const char* kOthers[] = {"avi", "jpg", "mp4", "pdf", "iso"};
+  return kOthers[rng.below(std::size(kOthers))];
+}
+
+Bytes pick_size(Rng& rng, const TraceConfig& cfg) {
+  BucketRange range{};
+  if (cfg.fixed_range.has_value()) {
+    range = *cfg.fixed_range;
+  } else {
+    const double u = rng.uniform();
+    SizeBucket b;
+    if (u < cfg.p_small) {
+      b = SizeBucket::small;
+    } else if (u < cfg.p_small + cfg.p_medium) {
+      b = SizeBucket::medium;
+    } else if (u < cfg.p_small + cfg.p_medium + cfg.p_large) {
+      b = SizeBucket::large;
+    } else {
+      b = SizeBucket::super_large;
+    }
+    range = bucket_range(b);
+  }
+  return range.lo + rng.below(range.hi - range.lo + 1);
+}
+
+}  // namespace
+
+TraceWorkload generate(const TraceConfig& config) {
+  assert(config.clients > 0 && config.file_count > 0);
+  Rng rng{config.seed};
+  TraceWorkload w;
+
+  w.files.reserve(config.file_count);
+  for (std::size_t i = 0; i < config.file_count; ++i) {
+    TraceFile f;
+    f.type = pick_type(rng, config);
+    f.name = "edonkey/" + std::to_string(i) + "." + f.type;
+    f.size = pick_size(rng, config);
+    w.files.push_back(std::move(f));
+  }
+
+  // Every file must be stored before it can be fetched; the op stream
+  // interleaves first-stores with Zipf-popular repeat accesses. To honour
+  // the configured store fraction, repeat accesses are mostly fetches plus
+  // re-stores (updates) as needed.
+  w.ops.reserve(config.op_count);
+  std::vector<bool> stored(config.file_count, false);
+  std::size_t next_unstored = 0;
+
+  for (std::size_t i = 0; i < config.op_count; ++i) {
+    TraceOp op;
+    op.client = static_cast<int>(rng.below(static_cast<std::uint64_t>(config.clients)));
+    const bool want_store = rng.chance(config.store_fraction);
+    if (want_store && next_unstored < config.file_count) {
+      op.kind = OpKind::store;
+      op.file = next_unstored;
+      stored[next_unstored] = true;
+      ++next_unstored;
+    } else {
+      // Repeat access to an already-stored file, Zipf-popular.
+      if (next_unstored == 0) {
+        // Nothing stored yet: force a first store.
+        op.kind = OpKind::store;
+        op.file = 0;
+        stored[0] = true;
+        next_unstored = 1;
+      } else {
+        op.file = rng.zipf(next_unstored, config.zipf_s);
+        op.kind = want_store ? OpKind::store : OpKind::fetch;  // re-store = update
+      }
+    }
+    w.ops.push_back(op);
+  }
+  return w;
+}
+
+}  // namespace c4h::trace

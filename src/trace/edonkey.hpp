@@ -1,0 +1,109 @@
+// eDonkey-style workload generation (§V-A "Tradeoffs in data placement").
+//
+// The paper modifies the eDonkey peer-to-peer dataset: clients are combined
+// into 6 aggregate clients that together access 1300 files with repeated
+// accesses, 60% store / 40% fetch. Files fall into the paper's size buckets
+// — small (1-10 MB), medium (10-20), large (20-50), super-large (50-100) —
+// and carry type tags (.mp3 files are the "private" data of the Fig 6
+// policy). We generate that modified form directly, seeded and
+// parameterized.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/common/rng.hpp"
+#include "src/common/units.hpp"
+
+namespace c4h::trace {
+
+enum class SizeBucket : std::uint8_t { small, medium, large, super_large };
+
+constexpr const char* to_string(SizeBucket b) {
+  switch (b) {
+    case SizeBucket::small: return "small(1-10MB)";
+    case SizeBucket::medium: return "medium(10-20MB)";
+    case SizeBucket::large: return "large(20-50MB)";
+    case SizeBucket::super_large: return "super-large(50-100MB)";
+  }
+  return "?";
+}
+
+struct BucketRange {
+  Bytes lo;
+  Bytes hi;
+};
+
+constexpr BucketRange bucket_range(SizeBucket b) {
+  switch (b) {
+    case SizeBucket::small: return {1_MB, 10_MB};
+    case SizeBucket::medium: return {10_MB, 20_MB};
+    case SizeBucket::large: return {20_MB, 50_MB};
+    case SizeBucket::super_large: return {50_MB, 100_MB};
+  }
+  return {1_MB, 10_MB};
+}
+
+constexpr SizeBucket bucket_of(Bytes size) {
+  if (size <= 10_MB) return SizeBucket::small;
+  if (size <= 20_MB) return SizeBucket::medium;
+  if (size <= 50_MB) return SizeBucket::large;
+  return SizeBucket::super_large;
+}
+
+struct TraceFile {
+  std::string name;
+  std::string type;  // "mp3", "avi", "jpg", ...
+  Bytes size = 0;
+  bool is_private() const { return type == "mp3"; }
+};
+
+enum class OpKind : std::uint8_t { store, fetch };
+
+struct TraceOp {
+  OpKind kind;
+  int client = 0;
+  std::size_t file = 0;  // index into TraceWorkload::files
+};
+
+struct TraceConfig {
+  int clients = 6;
+  std::size_t file_count = 1300;
+  std::size_t op_count = 2000;
+  double store_fraction = 0.6;  // 60% store / 40% fetch
+  double zipf_s = 0.8;          // popularity skew of repeated accesses
+  std::uint64_t seed = 1;
+
+  // Mix of size buckets (defaults roughly match a P2P file-sharing corpus:
+  // mostly small media, a tail of big videos).
+  double p_small = 0.55, p_medium = 0.25, p_large = 0.15;  // rest super-large
+  double p_mp3 = 0.4;  // fraction of files that are .mp3 (private)
+
+  // When set, all files are drawn from this size range instead of buckets
+  // (§V-B restricts the dataset to the "optimal" 10-25 MB objects).
+  std::optional<BucketRange> fixed_range;
+};
+
+struct TraceWorkload {
+  std::vector<TraceFile> files;
+  std::vector<TraceOp> ops;
+
+  Bytes total_bytes() const {
+    Bytes b = 0;
+    for (const auto& f : files) b += f.size;
+    return b;
+  }
+
+  std::size_t count(OpKind k) const {
+    std::size_t n = 0;
+    for (const auto& op : ops) n += (op.kind == k);
+    return n;
+  }
+};
+
+/// Generates the modified-eDonkey workload.
+TraceWorkload generate(const TraceConfig& config);
+
+}  // namespace c4h::trace

@@ -1,0 +1,123 @@
+// Access control for VStore++ objects — the paper's first open issue
+// ("to implement and experiment with richer access control methods and
+// policies", §VII), designed after the role-based controls of O2S2 [22]
+// (trusted vs untrusted VMs) that VStore++ descends from.
+//
+// Model: each application VM acts as a Principal (user name + VM trust
+// level). An object may carry an owner and an ACL; ownerless objects are
+// open (the base system's behaviour). Owners hold all rights; other
+// principals need a matching rule. Untrusted VMs additionally lose access
+// to objects tagged "private" regardless of rules.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/result.hpp"
+#include "src/common/serial.hpp"
+
+namespace c4h::vstore {
+
+enum class TrustLevel : std::uint8_t { untrusted = 0, trusted = 1 };
+
+struct Principal {
+  std::string user;
+  TrustLevel trust = TrustLevel::trusted;
+};
+
+enum class Right : std::uint8_t {
+  read = 1 << 0,     // fetch the object
+  write = 1 << 1,    // overwrite / delete
+  execute = 1 << 2,  // run services against it
+};
+
+constexpr std::uint8_t rights(std::initializer_list<Right> rs) {
+  std::uint8_t m = 0;
+  for (const Right r : rs) m |= static_cast<std::uint8_t>(r);
+  return m;
+}
+
+struct AccessRule {
+  std::string user;  // "*" matches any user
+  std::uint8_t allowed = 0;
+
+  bool matches(const Principal& p) const { return user == "*" || user == p.user; }
+  bool grants(Right r) const { return (allowed & static_cast<std::uint8_t>(r)) != 0; }
+};
+
+/// Per-object access-control list.
+class Acl {
+ public:
+  Acl() = default;
+
+  static Acl owner_only() { return Acl{}; }
+
+  static Acl public_read(std::string owner_hint = "*") {
+    Acl a;
+    a.rules_.push_back(AccessRule{std::move(owner_hint), rights({Right::read})});
+    return a;
+  }
+
+  Acl& allow(std::string user, std::initializer_list<Right> rs) {
+    rules_.push_back(AccessRule{std::move(user), rights(rs)});
+    return *this;
+  }
+
+  bool allows(const Principal& p, Right r) const {
+    for (const auto& rule : rules_) {
+      if (rule.matches(p) && rule.grants(r)) return true;
+    }
+    return false;
+  }
+
+  const std::vector<AccessRule>& rules() const { return rules_; }
+  bool empty() const { return rules_.empty(); }
+
+  void serialize(Writer& w) const {
+    w.write_vector(rules_, [](Writer& ww, const AccessRule& r) {
+      ww.write(r.user);
+      ww.write(r.allowed);
+    });
+  }
+
+  static Result<Acl> deserialize(Reader& r) {
+    auto rules = r.read_vector<AccessRule>([](Reader& rr) -> Result<AccessRule> {
+      AccessRule rule;
+      auto user = rr.read_string();
+      if (!user) return user.error();
+      rule.user = std::move(*user);
+      auto allowed = rr.read<std::uint8_t>();
+      if (!allowed) return allowed.error();
+      rule.allowed = *allowed;
+      return rule;
+    });
+    if (!rules) return rules.error();
+    Acl a;
+    a.rules_ = std::move(*rules);
+    return a;
+  }
+
+ private:
+  std::vector<AccessRule> rules_;
+};
+
+/// The full access decision, given the object's owner/tags and the
+/// requesting principal. Ownerless objects are open.
+struct AccessDecision {
+  bool allowed = true;
+  const char* reason = "open";
+};
+
+inline AccessDecision check_access(const std::string& owner, const Acl& acl,
+                                   bool object_is_private, const Principal& p, Right r) {
+  if (owner.empty()) return {true, "open"};
+  if (object_is_private && p.trust == TrustLevel::untrusted) {
+    return {false, "untrusted VM denied private object"};
+  }
+  if (p.user == owner) return {true, "owner"};
+  if (acl.allows(p, r)) return {true, "acl"};
+  return {false, "no matching rule"};
+}
+
+}  // namespace c4h::vstore

@@ -1,0 +1,78 @@
+// Adaptation to changing network conditions — §VII future work (iv):
+// "design and evaluate mechanisms that adapt to the changing network
+// conditions".
+//
+// WanEstimator keeps an EWMA of the throughput actually observed on
+// completed cloud transfers (per direction). AdaptiveStoragePolicy derives
+// a size threshold from the current estimate: an object goes to the remote
+// cloud only if shipping it is predicted to finish within a latency budget;
+// when the uplink degrades, the threshold shrinks and large objects stay
+// home automatically.
+#pragma once
+
+#include <algorithm>
+
+#include "src/common/units.hpp"
+#include "src/vstore/policy.hpp"
+
+namespace c4h::vstore {
+
+class WanEstimator {
+ public:
+  explicit WanEstimator(double alpha = 0.3, Rate initial_up = mib_per_sec(1.0),
+                        Rate initial_down = mib_per_sec(1.45))
+      : alpha_(alpha), up_(initial_up), down_(initial_down) {}
+
+  void observe_upload(Bytes size, Duration took) { observe(up_, size, took); }
+  void observe_download(Bytes size, Duration took) { observe(down_, size, took); }
+
+  Rate upload_estimate() const { return up_; }
+  Rate download_estimate() const { return down_; }
+
+  std::uint64_t observations() const { return n_; }
+
+ private:
+  void observe(Rate& est, Bytes size, Duration took) {
+    if (took <= Duration::zero() || size == 0) return;
+    const Rate sample = static_cast<double>(size) / to_seconds(took);
+    est = alpha_ * sample + (1.0 - alpha_) * est;
+    ++n_;
+  }
+
+  double alpha_;
+  Rate up_;
+  Rate down_;
+  std::uint64_t n_ = 0;
+};
+
+/// Builds the storage policy for the *current* network conditions: objects
+/// whose predicted upload time exceeds the budget stay in the home cloud.
+class AdaptiveStoragePolicy {
+ public:
+  AdaptiveStoragePolicy(const WanEstimator& estimator, Duration upload_budget = seconds(20))
+      : estimator_(&estimator), budget_(upload_budget) {}
+
+  /// Largest object worth sending to the cloud right now.
+  Bytes cloud_threshold() const {
+    const double bytes = estimator_->upload_estimate() * to_seconds(budget_);
+    return static_cast<Bytes>(std::max(bytes, 0.0));
+  }
+
+  /// Materializes a rule set for this instant. Small/acceptable objects go
+  /// remote (shareable data), oversized ones stay home.
+  StoragePolicy current() const {
+    StoragePolicy p;
+    StoreRule small_enough;
+    small_enough.max_size = cloud_threshold();
+    small_enough.target = StoreTarget::remote_cloud;
+    p.rules = {small_enough};
+    p.fallback = StoreTarget::local;
+    return p;
+  }
+
+ private:
+  const WanEstimator* estimator_;
+  Duration budget_;
+};
+
+}  // namespace c4h::vstore

@@ -1,0 +1,112 @@
+// Learned placement — §III-B future work: "Our future work will explore
+// opportunities to associate learning methods and support dynamic
+// adaptations" (storage/routing policies are statically encoded rules in
+// the base system).
+//
+// PlacementLearner is an ε-greedy contextual bandit over execution sites.
+// Context = (service, size bucket); arms = candidate sites; reward =
+// negative observed end-to-end time. Unlike chimeraGetDecision — which
+// trusts profile estimates and monitored records — the learner needs no
+// model at all: it converges onto whichever site actually performs best,
+// including effects the estimates miss (stale records, background load,
+// mis-calibrated profiles).
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/common/rng.hpp"
+#include "src/common/units.hpp"
+#include "src/services/service.hpp"
+#include "src/vstore/policy.hpp"
+
+namespace c4h::vstore {
+
+class PlacementLearner {
+ public:
+  struct Config {
+    double epsilon = 0.15;      // exploration probability
+    int min_pulls_per_arm = 1;  // try every arm at least this often first
+  };
+
+  PlacementLearner() : PlacementLearner(Config{}) {}
+  explicit PlacementLearner(Config config, std::uint64_t seed = 99)
+      : config_(config), rng_(seed) {}
+
+  /// Context key for a request: the service plus the input's size bucket
+  /// (powers of two of MiB), so 0.9 MB and 1.1 MB images share experience.
+  static std::string context_of(const services::ServiceProfile& service, Bytes input) {
+    int bucket = 0;
+    double mib = to_mib(input);
+    while (mib >= 1.0) {
+      mib /= 2.0;
+      ++bucket;
+    }
+    return service.registry_key_name() + "@2^" + std::to_string(bucket) + "MiB";
+  }
+
+  /// Picks a site: unexplored arms first, then ε-greedy over observed means.
+  ExecSite choose(const std::string& context, const std::vector<ExecSite>& candidates) {
+    auto& arms = table_[context];
+    // Any candidate below the pull floor gets tried next (round-robin-ish).
+    for (const auto& c : candidates) {
+      if (arms[arm_key(c)].pulls < config_.min_pulls_per_arm) return c;
+    }
+    if (rng_.chance(config_.epsilon)) {
+      return candidates[rng_.below(candidates.size())];
+    }
+    const ExecSite* best = &candidates.front();
+    double best_mean = arms[arm_key(*best)].mean_seconds;
+    for (const auto& c : candidates) {
+      const double m = arms[arm_key(c)].mean_seconds;
+      if (m < best_mean) {
+        best = &c;
+        best_mean = m;
+      }
+    }
+    return *best;
+  }
+
+  /// Feeds back the observed end-to-end time of running at `site`.
+  void observe(const std::string& context, const ExecSite& site, Duration total) {
+    Arm& a = table_[context][arm_key(site)];
+    ++a.pulls;
+    const double x = to_seconds(total);
+    a.mean_seconds += (x - a.mean_seconds) / static_cast<double>(a.pulls);
+  }
+
+  /// Observed pulls of an arm (diagnostics / tests).
+  std::uint64_t pulls(const std::string& context, const ExecSite& site) const {
+    const auto t = table_.find(context);
+    if (t == table_.end()) return 0;
+    const auto a = t->second.find(arm_key(site));
+    return a != t->second.end() ? a->second.pulls : 0;
+  }
+
+  double mean_seconds(const std::string& context, const ExecSite& site) const {
+    const auto t = table_.find(context);
+    if (t == table_.end()) return 0;
+    const auto a = t->second.find(arm_key(site));
+    return a != t->second.end() ? a->second.mean_seconds : 0;
+  }
+
+  std::size_t contexts() const { return table_.size(); }
+
+ private:
+  struct Arm {
+    std::uint64_t pulls = 0;
+    double mean_seconds = 0;
+  };
+
+  static std::string arm_key(const ExecSite& s) {
+    return s.kind == ExecSite::Kind::ec2 ? "ec2" : "home:" + s.node.to_string();
+  }
+
+  Config config_;
+  Rng rng_;
+  std::map<std::string, std::map<std::string, Arm>> table_;
+};
+
+}  // namespace c4h::vstore

@@ -1,0 +1,155 @@
+// Placement policies (§III-B, §V).
+//
+// Storage: "the target location for the store operation is determined via
+// the policy associated with the store. The service policy describes a set
+// of rules which 'guide' the routing of the store request" — e.g. images
+// below a size threshold stay on the home desktop, larger ones go to the
+// remote cloud; private file types stay home. Rules are statically encoded,
+// first match wins.
+//
+// Execution: chimeraGetDecision's 'policy' parameter selects among routing
+// goals — "overall service performance, vs. achieving balanced resource
+// utilization or improved battery lives for portable devices."
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/common/key.hpp"
+#include "src/common/units.hpp"
+#include "src/vstore/object.hpp"
+
+namespace c4h::vstore {
+
+enum class StoreTarget : std::uint8_t {
+  local,         // this node's mandatory bin
+  home_any,      // a voluntary bin somewhere in the home cloud
+  remote_cloud,  // S3
+};
+
+struct StoreRule {
+  // Matchers (all present ones must match).
+  std::optional<std::string> tag;
+  std::optional<std::string> type;
+  Bytes min_size = 0;
+  Bytes max_size = UINT64_MAX;
+
+  StoreTarget target = StoreTarget::local;
+
+  bool matches(const ObjectMeta& m) const {
+    if (tag.has_value() && !m.has_tag(*tag)) return false;
+    if (type.has_value() && m.type != *type) return false;
+    return m.size >= min_size && m.size <= max_size;
+  }
+};
+
+struct StoragePolicy {
+  std::vector<StoreRule> rules;
+  StoreTarget fallback = StoreTarget::local;
+
+  StoreTarget target_for(const ObjectMeta& m) const {
+    for (const auto& r : rules) {
+      if (r.matches(m)) return r.target;
+    }
+    return fallback;
+  }
+
+  /// Default: keep everything local, spill handled by the store path.
+  static StoragePolicy local_first() { return {}; }
+
+  /// §V-B's policy: private data (.mp3 in the experiments) stays home,
+  /// shareable data goes to the remote cloud.
+  static StoragePolicy privacy(std::string private_type = "mp3") {
+    StoragePolicy p;
+    StoreRule keep_private;
+    keep_private.type = std::move(private_type);
+    keep_private.target = StoreTarget::local;
+    StoreRule tagged_private;
+    tagged_private.tag = "private";
+    tagged_private.target = StoreTarget::local;
+    p.rules = {keep_private, tagged_private};
+    p.fallback = StoreTarget::remote_cloud;
+    return p;
+  }
+
+  /// The surveillance example: images up to `threshold` stored on a home
+  /// node, larger ones in the remote cloud.
+  static StoragePolicy size_threshold(Bytes threshold) {
+    StoragePolicy p;
+    StoreRule small;
+    small.max_size = threshold;
+    small.target = StoreTarget::local;
+    StoreRule large;
+    large.min_size = threshold + 1;
+    large.target = StoreTarget::remote_cloud;
+    p.rules = {small, large};
+    return p;
+  }
+};
+
+/// chimeraGetDecision's routing goal.
+enum class DecisionPolicy : std::uint8_t {
+  performance,           // minimize locate + movement + execution time
+  balanced_utilization,  // spread load across nodes
+  battery_aware,         // spare low-battery portable devices
+};
+
+/// A possible execution/storage site.
+struct ExecSite {
+  enum class Kind : std::uint8_t { home_node, ec2 };
+  Kind kind = Kind::home_node;
+  Key node;  // home node id; unused for ec2
+
+  friend bool operator==(const ExecSite& a, const ExecSite& b) {
+    return a.kind == b.kind && (a.kind == Kind::ec2 || a.node == b.node);
+  }
+};
+
+/// Everything the decision engine knows about one candidate at choice time.
+struct CandidateInfo {
+  ExecSite site;
+  Duration move_in{};        // argument-object movement to the site
+  Duration exec_estimate{};  // profile estimate adjusted for current load
+  double cpu_load = 0;
+  double battery = 1.0;
+  bool battery_powered = false;
+};
+
+/// Pure selection function (unit-testable): picks a candidate index.
+inline std::size_t choose_candidate(DecisionPolicy policy,
+                                    const std::vector<CandidateInfo>& cands) {
+  std::size_t best = 0;
+  auto total = [](const CandidateInfo& c) {
+    return to_seconds(c.move_in) + to_seconds(c.exec_estimate);
+  };
+  for (std::size_t i = 1; i < cands.size(); ++i) {
+    const CandidateInfo& a = cands[i];
+    const CandidateInfo& b = cands[best];
+    bool better = false;
+    switch (policy) {
+      case DecisionPolicy::performance:
+        better = total(a) < total(b);
+        break;
+      case DecisionPolicy::balanced_utilization:
+        // Primary: lower CPU load; tie-break on time.
+        better = a.cpu_load < b.cpu_load - 0.05 ||
+                 (std::abs(a.cpu_load - b.cpu_load) <= 0.05 && total(a) < total(b));
+        break;
+      case DecisionPolicy::battery_aware: {
+        // Penalize battery-powered sites in proportion to the charge they
+        // lack; a low-battery netbook only wins if it is much faster.
+        auto score = [&](const CandidateInfo& c) {
+          const double penalty = c.battery_powered ? (1.0 + 4.0 * (1.0 - c.battery)) : 1.0;
+          return total(c) * penalty;
+        };
+        better = score(a) < score(b);
+        break;
+      }
+    }
+    if (better) best = i;
+  }
+  return best;
+}
+
+}  // namespace c4h::vstore

@@ -1,0 +1,536 @@
+#include "src/vstore/vstore.hpp"
+
+#include "src/vstore/home_cloud.hpp"
+
+namespace c4h::vstore {
+
+namespace {
+
+// Command handling on the shared-memory channel: sub-millisecond, paid per
+// request and per reply.
+constexpr Duration kCommandLatency = microseconds(300);
+
+}  // namespace
+
+VStoreNode::VStoreNode(HomeCloud& cloud, overlay::ChimeraNode& chimera, vmm::Domain& app_domain,
+                       ObjectFsConfig fs_config, vmm::XenSocketConfig xs_config)
+    : cloud_(cloud),
+      chimera_(chimera),
+      app_domain_(app_domain),
+      fs_(cloud.sim(), fs_config),
+      xensocket_(cloud.sim(), xs_config) {
+  principal_ = Principal{chimera.name(), TrustLevel::trusted};
+  mon::BinWatcher watcher;
+  watcher.mandatory_free = [this] { return fs_.mandatory_free(); };
+  watcher.voluntary_free = [this] { return fs_.voluntary_free(); };
+  monitor_ = std::make_unique<mon::ResourceMonitor>(chimera_, cloud_.kv(), watcher,
+                                                    cloud.config().monitor);
+  monitor_->set_uplink_estimate(cloud.config().lan_rate);
+}
+
+sim::Task<Duration> VStoreNode::command_round_trip() {
+  // Exercise the real codec so framing stays under the paper's ~50 bytes.
+  CommandPacket cmd;
+  cmd.type = CommandType::fetch_object;
+  cmd.domain_id = static_cast<std::uint32_t>(app_domain_.id());
+  cmd.shm_ref = 0xC4;
+  const auto wire = cmd.serialize();
+  const Duration per_byte = nanoseconds(static_cast<std::int64_t>(wire.size()) * 40);
+  co_await cloud_.sim().delay(kCommandLatency + per_byte);
+  co_return kCommandLatency + per_byte;
+}
+
+sim::Task<Result<void>> VStoreNode::publish_services() {
+  for (const auto& key_name : deployed_) {
+    const auto* p = cloud_.registry().profile_by_key_name(key_name);
+    if (p == nullptr) co_return Error{Errc::invalid_argument, "unknown profile " + key_name};
+    auto r = co_await cloud_.registry().register_node(chimera_, *p);
+    if (!r.ok()) co_return r;
+  }
+  co_return Result<void>{};
+}
+
+sim::Task<Result<void>> VStoreNode::create_object(ObjectMeta meta) {
+  co_await command_round_trip();
+  meta.created_at_ns = cloud_.sim().now().count();
+  if (created_.contains(meta.name)) {
+    co_return Error{Errc::already_exists, "object already created: " + meta.name};
+  }
+  created_.emplace(meta.name, std::move(meta));
+  co_return Result<void>{};
+}
+
+sim::Task<Result<ObjectLocation>> VStoreNode::place_object(const ObjectMeta& meta,
+                                                           StoreOptions& opts,
+                                                           StoreOutcome& out) {
+  auto& sim = cloud_.sim();
+  auto& net = cloud_.network();
+
+  const TimePoint d0 = sim.now();
+  StoreTarget target = opts.policy.target_for(meta);
+  if (target == StoreTarget::local && fs_.mandatory_free() < meta.size) {
+    // "In cases where the mandatory bin is full ... the data is stored
+    // elsewhere, either in the voluntary resources available on other nodes
+    // in the home environment, or in a remote cloud."
+    target = StoreTarget::home_any;
+  }
+
+  Key chosen_home{};
+  if (target == StoreTarget::home_any) {
+    // chimeraGetDecision over the other home nodes' published records.
+    std::vector<CandidateInfo> cands;
+    std::vector<Key> cand_keys;
+    for (overlay::ChimeraNode* member : cloud_.overlay().live_members()) {
+      if (member == &chimera_) continue;
+      auto rec = co_await mon::fetch_record(cloud_.kv(), chimera_, member->id());
+      if (!rec.ok()) continue;
+      if (rec->voluntary_bin_free < meta.size) continue;
+      VStoreNode* vn = cloud_.node_by_key(member->id());
+      if (vn == nullptr) continue;
+      CandidateInfo ci;
+      ci.site = ExecSite{ExecSite::Kind::home_node, member->id()};
+      ci.move_in = cloud_.estimate_move(ExecSite{ExecSite::Kind::home_node, chimera_.id()},
+                                        ci.site, meta.size);
+      ci.exec_estimate = transfer_time(meta.size, vn->fs().config().write_rate);
+      ci.cpu_load = rec->cpu_load;
+      ci.battery = rec->battery;
+      ci.battery_powered = rec->battery_powered;
+      cands.push_back(ci);
+      cand_keys.push_back(member->id());
+    }
+    if (cands.empty()) {
+      target = StoreTarget::remote_cloud;
+    } else {
+      chosen_home = cands[choose_candidate(opts.decision, cands)].site.node;
+    }
+  }
+  out.decision = sim.now() - d0;
+
+  const TimePoint p0 = sim.now();
+  ObjectLocation loc;
+  switch (target) {
+    case StoreTarget::local: {
+      auto w = co_await fs_.write(meta.name, meta.size, Bin::mandatory);
+      if (!w.ok()) co_return w.error();
+      loc.kind = ObjectLocation::Kind::home_node;
+      loc.node = chimera_.id();
+      break;
+    }
+    case StoreTarget::home_any: {
+      VStoreNode* vn = cloud_.node_by_key(chosen_home);
+      co_await net.transfer(chimera_.net_node(), vn->chimera().net_node(), meta.size,
+                            cloud_.lan_profile());
+      auto w = co_await vn->fs_.write(meta.name, meta.size, Bin::voluntary);
+      if (!w.ok()) {
+        // Stale record (bin filled since the last monitor update): spill to
+        // the remote cloud rather than failing the store.
+        const std::string url = cloud::S3Store::url_for("vstore", meta.name);
+        const TimePoint u0 = sim.now();
+        auto p = co_await cloud_.s3().put(chimera_.net_node(), url, meta.size);
+        if (!p.ok()) co_return p.error();
+        cloud_.wan_estimator().observe_upload(meta.size, sim.now() - u0);
+        loc.kind = ObjectLocation::Kind::remote_cloud;
+        loc.url = url;
+        break;
+      }
+      loc.kind = ObjectLocation::Kind::home_node;
+      loc.node = chosen_home;
+      break;
+    }
+    case StoreTarget::remote_cloud: {
+      const std::string url = cloud::S3Store::url_for("vstore", meta.name);
+      const TimePoint u0 = sim.now();
+      auto p = co_await cloud_.s3().put(chimera_.net_node(), url, meta.size);
+      if (!p.ok()) co_return p.error();
+      cloud_.wan_estimator().observe_upload(meta.size, sim.now() - u0);
+      loc.kind = ObjectLocation::Kind::remote_cloud;
+      loc.url = url;
+      break;
+    }
+  }
+  out.placement = sim.now() - p0;
+  co_return loc;
+}
+
+sim::Task<Result<StoreOutcome>> VStoreNode::store_object(const std::string& name,
+                                                         StoreOptions opts) {
+  auto& sim = cloud_.sim();
+  const TimePoint t0 = sim.now();
+  StoreOutcome out;
+
+  const auto it = created_.find(name);
+  if (it == created_.end()) {
+    co_return Error{Errc::not_found, "CreateObject was not called for " + name};
+  }
+  const ObjectMeta meta = it->second;
+
+  co_await command_round_trip();
+
+  // Move the object out of the guest VM into the control domain.
+  const TimePoint x0 = sim.now();
+  co_await xensocket_.transfer(meta.size);
+  out.inter_domain = sim.now() - x0;
+
+  auto finish = [](VStoreNode& self, ObjectMeta m, StoreOptions o, StoreOutcome partial,
+                   TimePoint start) -> sim::Task<Result<StoreOutcome>> {
+    auto& s = self.cloud_.sim();
+    // Overwriting an existing owned object requires write rights.
+    {
+      auto existing = co_await self.cloud_.kv().get(self.chimera_, m.key());
+      if (existing.ok()) {
+        auto prev = ObjectRecord::deserialize(*existing);
+        if (prev.ok()) {
+          if (auto auth = self.authorize(*prev, Right::write); !auth.ok()) {
+            co_return auth.error();
+          }
+        }
+      }
+    }
+    auto loc = co_await self.place_object(m, o, partial);
+    if (!loc.ok()) co_return loc.error();
+
+    const TimePoint m0 = s.now();
+    ObjectRecord rec{m, *loc};
+    auto put = co_await self.cloud_.kv().put(self.chimera_, m.key(), rec.serialize());
+    if (!put.ok()) co_return put.error();
+    partial.metadata = s.now() - m0;
+    partial.location = *loc;
+    partial.total = s.now() - start;
+    self.created_.erase(m.name);
+    co_return partial;
+  };
+
+  if (!opts.blocking) {
+    // Non-blocking store: the guest resumes once the data has left its VM;
+    // placement and metadata update continue asynchronously.
+    sim.spawn([](VStoreNode& self, ObjectMeta m, StoreOptions o, StoreOutcome partial,
+                 TimePoint start, decltype(finish) fin) -> sim::Task<> {
+      (void)co_await fin(self, std::move(m), std::move(o), partial, start);
+    }(*this, meta, opts, out, t0, finish));
+    out.total = sim.now() - t0;
+    out.location.kind = ObjectLocation::Kind::home_node;
+    out.location.node = chimera_.id();  // provisional
+    co_return out;
+  }
+
+  auto done = co_await finish(*this, meta, opts, out, t0);
+  if (!done.ok()) co_return done.error();
+  StoreOutcome full = *done;
+  co_await command_round_trip();  // the blocking store's extra acknowledgement
+  full.total = sim.now() - t0;
+  co_return full;
+}
+
+Result<void> VStoreNode::authorize(const ObjectRecord& rec, Right r) const {
+  const auto d = check_access(rec.meta.owner, rec.meta.acl, rec.meta.has_tag("private"),
+                              principal_, r);
+  if (d.allowed) return Result<void>{};
+  return Error{Errc::permission_denied,
+               "access denied for '" + principal_.user + "' on " + rec.meta.name + ": " +
+                   d.reason};
+}
+
+sim::Task<Result<ObjectRecord>> VStoreNode::lookup_record(const std::string& name,
+                                                          Duration& dht_cost) {
+  auto& sim = cloud_.sim();
+  const TimePoint t0 = sim.now();
+  auto raw = co_await cloud_.kv().get(chimera_, Key::from_name(name));
+  dht_cost = sim.now() - t0;
+  if (!raw.ok()) co_return raw.error();
+  co_return ObjectRecord::deserialize(*raw);
+}
+
+sim::Task<Result<FetchOutcome>> VStoreNode::fetch_object(const std::string& name) {
+  auto& sim = cloud_.sim();
+  auto& net = cloud_.network();
+  const TimePoint t0 = sim.now();
+  FetchOutcome out;
+
+  co_await command_round_trip();
+
+  auto rec = co_await lookup_record(name, out.dht_lookup);
+  if (!rec.ok()) co_return rec.error();
+  if (auto auth = authorize(*rec, Right::read); !auth.ok()) co_return auth.error();
+  out.size = rec->meta.size;
+
+  const TimePoint n0 = sim.now();
+  if (rec->location.is_cloud()) {
+    auto got = co_await cloud_.s3().get(chimera_.net_node(), rec->location.url);
+    if (!got.ok()) co_return got.error();
+    cloud_.wan_estimator().observe_download(rec->meta.size, sim.now() - n0);
+    out.from_cloud = true;
+  } else if (rec->location.node == chimera_.id()) {
+    auto got = co_await fs_.read(name);
+    if (!got.ok()) co_return got.error();
+    out.local = true;
+  } else {
+    VStoreNode* ownr = cloud_.node_by_key(rec->location.node);
+    if (ownr == nullptr || !ownr->online()) {
+      co_return Error{Errc::unavailable, "object owner offline: " + name};
+    }
+    // Request message, owner's disk read, then the zero-copy transfer back.
+    co_await net.send_message(chimera_.net_node(), ownr->chimera().net_node());
+    auto got = co_await ownr->fs_.read(name);
+    if (!got.ok()) co_return got.error();
+    co_await net.transfer(ownr->chimera().net_node(), chimera_.net_node(), rec->meta.size,
+                          cloud_.lan_profile());
+  }
+  out.inter_node = sim.now() - n0;
+
+  // Deliver into the guest VM.
+  const TimePoint x0 = sim.now();
+  co_await xensocket_.transfer(rec->meta.size);
+  out.inter_domain = sim.now() - x0;
+
+  co_await command_round_trip();
+  out.total = sim.now() - t0;
+  co_return out;
+}
+
+namespace {
+
+/// The execution site's domain.
+vmm::Domain& site_domain(HomeCloud& hc, const ExecSite& site) {
+  if (site.kind == ExecSite::Kind::ec2) return hc.ec2().domain();
+  return hc.node_by_key(site.node)->app_domain();
+}
+
+double site_load(HomeCloud& hc, const ExecSite& site) {
+  if (site.kind == ExecSite::Kind::ec2) return hc.ec2().host().cpu_utilization();
+  return hc.node_by_key(site.node)->host().cpu_utilization();
+}
+
+}  // namespace
+
+sim::Task<Result<ProcessOutcome>> VStoreNode::process(const std::string& name,
+                                                      const services::ServiceProfile& service,
+                                                      DecisionPolicy policy,
+                                                      std::optional<ExecSite> force) {
+  // (explicit vector: GCC 12 miscompiles brace-init arguments in
+  // co_return co_await expressions)
+  std::vector<services::ServiceProfile> stages;
+  stages.push_back(service);
+  co_return co_await process_pipeline(name, stages, policy, force);
+}
+
+sim::Task<Result<ProcessOutcome>> VStoreNode::process_pipeline(
+    const std::string& name, const std::vector<services::ServiceProfile>& stages,
+    DecisionPolicy policy, std::optional<ExecSite> force) {
+  auto& sim = cloud_.sim();
+  const TimePoint t0 = sim.now();
+  ProcessOutcome out;
+  if (stages.empty()) co_return Error{Errc::invalid_argument, "empty pipeline"};
+
+  co_await command_round_trip();
+
+  auto rec = co_await lookup_record(name, out.dht_lookup);
+  if (!rec.ok()) co_return rec.error();
+  if (auto auth = authorize(*rec, Right::read); !auth.ok()) co_return auth.error();
+  if (auto auth = authorize(*rec, Right::execute); !auth.ok()) co_return auth.error();
+  const Bytes size = rec->meta.size;
+
+  const ExecSite owner_site =
+      rec->location.is_cloud() ? ExecSite{ExecSite::Kind::ec2, {}}
+                               : ExecSite{ExecSite::Kind::home_node, rec->location.node};
+
+  // --- chimeraGetDecision: collect candidates and their resource state ---
+  const TimePoint d0 = sim.now();
+  if (force.has_value()) {
+    out.site = *force;
+    auto ran = co_await run_at_site(*force, owner_site, name, stages, *rec, out, t0);
+    if (!ran.ok()) co_return ran.error();
+    co_return out;
+  }
+  std::vector<CandidateInfo> cands;
+  std::set<std::uint64_t> seen;  // home-node keys already considered
+
+  auto add_home_candidate = [&](Key node_key) -> sim::Task<> {
+    if (seen.contains(node_key.raw())) co_return;
+    seen.insert(node_key.raw());
+    VStoreNode* vn = cloud_.node_by_key(node_key);
+    if (vn == nullptr || !vn->online()) co_return;
+    for (const auto& stage : stages) {
+      if (!vn->has_service(stage) || !stage.admissible(vn->app_domain())) co_return;
+    }
+    auto rrec = co_await mon::fetch_record(cloud_.kv(), chimera_, node_key);
+    CandidateInfo ci;
+    ci.site = ExecSite{ExecSite::Kind::home_node, node_key};
+    ci.move_in = cloud_.estimate_move(owner_site, ci.site, size);
+    if (node_key != chimera_.id()) ci.move_in += cloud_.config().remote_dispatch;
+    const double load = rrec.ok() ? rrec->cpu_load : 0.0;
+    double est = 0;
+    for (const auto& stage : stages) {
+      est += to_seconds(stage.estimate(vn->app_domain(), size));
+    }
+    ci.exec_estimate = from_seconds(est / std::max(0.05, 1.0 - load));
+    ci.cpu_load = load;
+    ci.battery = rrec.ok() ? rrec->battery : 1.0;
+    ci.battery_powered = rrec.ok() && rrec->battery_powered;
+    cands.push_back(ci);
+  };
+
+  // Requester and owner are always considered first (§III-B's fast paths).
+  co_await add_home_candidate(chimera_.id());
+  if (!rec->location.is_cloud()) co_await add_home_candidate(rec->location.node);
+
+  // Other deployments from the first stage's registry entry (a pipeline
+  // runs where its stages are co-deployed).
+  auto registered = co_await cloud_.registry().lookup(chimera_, stages.front());
+  if (registered.ok()) {
+    for (const Key k : *registered) co_await add_home_candidate(k);
+  }
+
+  // The remote cloud.
+  bool cloud_has_all = true;
+  for (const auto& stage : stages) cloud_has_all &= cloud_.cloud_has_service(stage);
+  if (cloud_has_all) {
+    CandidateInfo ci;
+    ci.site = ExecSite{ExecSite::Kind::ec2, {}};
+    ci.move_in = cloud_.estimate_move(owner_site, ci.site, size) +
+                 cloud_.config().remote_dispatch;
+    double est = 0;
+    for (const auto& stage : stages) {
+      est += to_seconds(stage.estimate(cloud_.ec2().domain(), size));
+    }
+    ci.exec_estimate = from_seconds(est);
+    ci.cpu_load = cloud_.ec2().host().cpu_utilization();
+    cands.push_back(ci);
+  }
+
+  if (cands.empty()) {
+    co_return Error{Errc::unavailable,
+                    "pipeline deployed nowhere reachable: " + stages.front().name};
+  }
+  const ExecSite site = cands[choose_candidate(policy, cands)].site;
+  out.decision = sim.now() - d0;
+  out.site = site;
+
+  auto ran = co_await run_at_site(site, owner_site, name, stages, *rec, out, t0);
+  if (!ran.ok()) co_return ran.error();
+  co_return out;
+}
+
+sim::Task<Result<void>> VStoreNode::run_at_site(const ExecSite& site, const ExecSite& owner_site,
+                                                const std::string& name,
+                                                const std::vector<services::ServiceProfile>& stages,
+                                                const ObjectRecord& rec, ProcessOutcome& out,
+                                                TimePoint t0) {
+  auto& sim = cloud_.sim();
+  auto& net = cloud_.network();
+  const Bytes size = rec.meta.size;
+
+  // Remote dispatch: invoking the service anywhere but the requester pays a
+  // fixed command/startup/queueing cost.
+  const bool remote_site =
+      !(site.kind == ExecSite::Kind::home_node && site.node == chimera_.id());
+  if (remote_site) co_await sim.delay(cloud_.config().remote_dispatch);
+
+  // --- Move the argument object to the site ------------------------------
+  const TimePoint m0 = sim.now();
+  if (!(site == owner_site)) {
+    if (rec.location.is_cloud()) {
+      if (site.kind == ExecSite::Kind::ec2) {
+        // S3 → EC2, intra-cloud.
+        co_await sim.delay(milliseconds(10) + transfer_time(size, mib_per_sec(20.0)));
+      } else {
+        auto got = co_await cloud_.s3().get(site_domain(cloud_, site).host().net_node(),
+                                            rec.location.url);
+        if (!got.ok()) co_return got.error();
+      }
+    } else {
+      VStoreNode* ownr = cloud_.node_by_key(rec.location.node);
+      if (ownr == nullptr || !ownr->online()) {
+        co_return Error{Errc::unavailable, "object owner offline: " + name};
+      }
+      auto read = co_await ownr->fs_.read(name);
+      if (!read.ok()) co_return read.error();
+      if (site.kind == ExecSite::Kind::ec2) {
+        co_await net.transfer(ownr->chimera().net_node(), cloud_.cloud_endpoint(), size,
+                              cloud_.config().transport.profile());
+      } else {
+        co_await net.transfer(ownr->chimera().net_node(),
+                              site_domain(cloud_, site).host().net_node(), size,
+                              cloud_.lan_profile());
+      }
+    }
+  } else if (!rec.location.is_cloud()) {
+    // Executing at the owner still reads the object off its disk.
+    VStoreNode* ownr = cloud_.node_by_key(rec.location.node);
+    auto read = co_await ownr->fs_.read(name);
+    if (!read.ok()) co_return read.error();
+  }
+  out.move = sim.now() - m0;
+
+  // --- Execute the stages back-to-back ------------------------------------
+  const TimePoint e0 = sim.now();
+  Bytes stage_input = size;
+  for (const auto& stage : stages) {
+    stage_input = co_await services::execute_service(stage, site_domain(cloud_, site),
+                                                     stage_input);
+  }
+  out.output = stage_input;
+  out.exec = sim.now() - e0;
+
+  // --- Return the result to the requester ---------------------------------
+  const TimePoint r0 = sim.now();
+  const bool site_is_me = site.kind == ExecSite::Kind::home_node && site.node == chimera_.id();
+  if (!site_is_me) {
+    if (site.kind == ExecSite::Kind::ec2) {
+      if (out.output > 0) {
+        co_await net.transfer(cloud_.cloud_endpoint(), chimera_.net_node(), out.output,
+                              cloud_.config().transport.profile());
+      } else {
+        co_await net.send_message(cloud_.cloud_endpoint(), chimera_.net_node());
+      }
+    } else {
+      auto* vn = cloud_.node_by_key(site.node);
+      if (out.output > 0) {
+        co_await net.transfer(vn->chimera().net_node(), chimera_.net_node(), out.output,
+                              cloud_.lan_profile());
+      } else {
+        co_await net.send_message(vn->chimera().net_node(), chimera_.net_node());
+      }
+    }
+  }
+  if (out.output > 0) co_await xensocket_.transfer(out.output);
+  out.result_return = sim.now() - r0;
+
+  co_await command_round_trip();
+  out.total = sim.now() - t0;
+  co_return Result<void>{};
+}
+
+sim::Task<Result<ProcessOutcome>> VStoreNode::fetch_process(
+    const std::string& name, const services::ServiceProfile& service, DecisionPolicy policy) {
+  auto& sim = cloud_.sim();
+  const TimePoint t0 = sim.now();
+
+  // "When the node storing the object receives the request, it uses the
+  // service identifier to first determine if the requesting node is capable
+  // of executing the service itself. In that case, the object is simply
+  // returned as in the regular fetch operation, and the service processing
+  // is performed at the requesting node's VStore++ guest domain."
+  if (has_service(service) && service.admissible(app_domain_)) {
+    auto fetched = co_await fetch_object(name);
+    if (!fetched.ok()) co_return fetched.error();
+    ProcessOutcome out;
+    out.site = ExecSite{ExecSite::Kind::home_node, chimera_.id()};
+    out.dht_lookup = fetched->dht_lookup;
+    out.move = fetched->inter_node + fetched->inter_domain;
+    const TimePoint e0 = sim.now();
+    out.output = co_await services::execute_service(service, app_domain_, fetched->size);
+    out.exec = sim.now() - e0;
+    out.total = sim.now() - t0;
+    co_return out;
+  }
+
+  // Otherwise: owner-or-elsewhere, via the same decision machinery; the
+  // requester is not a candidate (it cannot run the service).
+  auto outcome = co_await process(name, service, policy);
+  if (!outcome.ok()) co_return outcome.error();
+  ProcessOutcome out = *outcome;
+  out.total = sim.now() - t0;
+  co_return out;
+}
+
+}  // namespace c4h::vstore

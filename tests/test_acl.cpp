@@ -1,0 +1,213 @@
+// Access control (§VII future work (i)): ACL semantics, serialization, and
+// end-to-end enforcement in VStore++ operations.
+#include <gtest/gtest.h>
+
+#include "src/vstore/acl.hpp"
+#include "src/vstore/home_cloud.hpp"
+
+namespace c4h::vstore {
+namespace {
+
+using sim::Task;
+
+const Principal kAlice{"alice", TrustLevel::trusted};
+const Principal kBob{"bob", TrustLevel::trusted};
+const Principal kGuestVm{"guest", TrustLevel::untrusted};
+
+// --- Pure ACL semantics ---
+
+TEST(Acl, OwnerAlwaysAllowed) {
+  const auto d = check_access("alice", Acl::owner_only(), false, kAlice, Right::write);
+  EXPECT_TRUE(d.allowed);
+  EXPECT_STREQ(d.reason, "owner");
+}
+
+TEST(Acl, OwnerlessObjectsAreOpen) {
+  const auto d = check_access("", Acl::owner_only(), false, kBob, Right::write);
+  EXPECT_TRUE(d.allowed);
+  EXPECT_STREQ(d.reason, "open");
+}
+
+TEST(Acl, NonOwnerDeniedByDefault) {
+  EXPECT_FALSE(check_access("alice", Acl::owner_only(), false, kBob, Right::read).allowed);
+}
+
+TEST(Acl, RuleGrantsSpecificRight) {
+  Acl acl;
+  acl.allow("bob", {Right::read});
+  EXPECT_TRUE(check_access("alice", acl, false, kBob, Right::read).allowed);
+  EXPECT_FALSE(check_access("alice", acl, false, kBob, Right::write).allowed);
+  EXPECT_FALSE(check_access("alice", acl, false, kBob, Right::execute).allowed);
+}
+
+TEST(Acl, WildcardMatchesEveryUser) {
+  const Acl acl = Acl::public_read();
+  EXPECT_TRUE(check_access("alice", acl, false, kBob, Right::read).allowed);
+  EXPECT_TRUE(check_access("alice", acl, false, kGuestVm, Right::read).allowed);
+  EXPECT_FALSE(check_access("alice", acl, false, kBob, Right::write).allowed);
+}
+
+TEST(Acl, UntrustedVmDeniedPrivateObjectsEvenWithRule) {
+  Acl acl;
+  acl.allow("*", {Right::read, Right::write, Right::execute});
+  EXPECT_FALSE(check_access("alice", acl, /*private=*/true, kGuestVm, Right::read).allowed);
+  EXPECT_TRUE(check_access("alice", acl, /*private=*/false, kGuestVm, Right::read).allowed);
+  // Trusted VM with the same rule is fine.
+  EXPECT_TRUE(check_access("alice", acl, /*private=*/true, kBob, Right::read).allowed);
+}
+
+TEST(Acl, SerializeRoundTripsThroughObjectRecord) {
+  ObjectRecord rec;
+  rec.meta.name = "o";
+  rec.meta.owner = "alice";
+  rec.meta.acl.allow("bob", {Right::read, Right::execute});
+  rec.meta.acl.allow("*", {Right::read});
+  auto back = ObjectRecord::deserialize(rec.serialize());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->meta.owner, "alice");
+  ASSERT_EQ(back->meta.acl.rules().size(), 2u);
+  EXPECT_TRUE(back->meta.acl.allows(kBob, Right::execute));
+  EXPECT_TRUE(back->meta.acl.allows(kGuestVm, Right::read));
+  EXPECT_FALSE(back->meta.acl.allows(kGuestVm, Right::write));
+}
+
+// --- End-to-end enforcement ---
+
+struct Rig {
+  HomeCloud hc;
+  Rig() : hc(make_cfg()) {
+    hc.bootstrap();
+    hc.node(0).set_principal(kAlice);
+    hc.node(1).set_principal(kBob);
+    hc.node(2).set_principal(kGuestVm);
+  }
+  static HomeCloudConfig make_cfg() {
+    HomeCloudConfig cfg;
+    cfg.netbooks = 3;
+    cfg.start_monitors = false;
+    return cfg;
+  }
+
+  Task<> store_owned(Acl acl, std::vector<std::string> tags = {}) {
+    ObjectMeta m;
+    m.name = "alice/doc.pdf";
+    m.type = "pdf";
+    m.size = 1_MB;
+    m.owner = "alice";
+    m.acl = std::move(acl);
+    m.tags = std::move(tags);
+    (void)co_await hc.node(0).create_object(m);
+    auto s = co_await hc.node(0).store_object(m.name);
+    EXPECT_TRUE(s.ok());
+  }
+};
+
+TEST(AclEnforcement, OwnerCanFetchOthersCannot) {
+  Rig rig;
+  rig.hc.run([](Rig& r) -> Task<> {
+    co_await r.store_owned(Acl::owner_only());
+    auto mine = co_await r.hc.node(0).fetch_object("alice/doc.pdf");
+    EXPECT_TRUE(mine.ok());
+    auto theirs = co_await r.hc.node(1).fetch_object("alice/doc.pdf");
+    EXPECT_FALSE(theirs.ok());
+    EXPECT_EQ(theirs.code(), Errc::permission_denied);
+  }(rig));
+}
+
+TEST(AclEnforcement, ReadRuleOpensFetchButNotProcess) {
+  Rig rig;
+  auto fdet = services::face_detect_profile();
+  rig.hc.registry().add_profile(fdet);
+  rig.hc.node(1).deploy_service(fdet);
+  rig.hc.run([fdet](Rig& r) -> Task<> {
+    (void)co_await r.hc.node(1).publish_services();
+    Acl acl;
+    acl.allow("bob", {Right::read});
+    co_await r.store_owned(acl);
+
+    auto fetch = co_await r.hc.node(1).fetch_object("alice/doc.pdf");
+    EXPECT_TRUE(fetch.ok());
+    auto proc = co_await r.hc.node(1).process("alice/doc.pdf", fdet);
+    EXPECT_FALSE(proc.ok());
+    EXPECT_EQ(proc.code(), Errc::permission_denied);
+  }(rig));
+}
+
+TEST(AclEnforcement, OverwriteRequiresWriteRight) {
+  Rig rig;
+  rig.hc.run([](Rig& r) -> Task<> {
+    co_await r.store_owned(Acl::public_read());
+
+    // Bob tries to replace Alice's object under the same name.
+    ObjectMeta evil;
+    evil.name = "alice/doc.pdf";
+    evil.type = "pdf";
+    evil.size = 512_KB;
+    evil.owner = "bob";
+    (void)co_await r.hc.node(1).create_object(evil);
+    auto s = co_await r.hc.node(1).store_object(evil.name);
+    EXPECT_FALSE(s.ok());
+    EXPECT_EQ(s.code(), Errc::permission_denied);
+
+    // The original survives, still 1 MB.
+    auto back = co_await r.hc.node(0).fetch_object("alice/doc.pdf");
+    EXPECT_TRUE(back.ok());
+    if (back.ok()) {
+      EXPECT_EQ(back->size, 1_MB);
+    }
+  }(rig));
+}
+
+TEST(AclEnforcement, WriteRuleAllowsOverwrite) {
+  Rig rig;
+  rig.hc.run([](Rig& r) -> Task<> {
+    Acl acl;
+    acl.allow("bob", {Right::read, Right::write});
+    co_await r.store_owned(acl);
+
+    ObjectMeta update;
+    update.name = "alice/doc.pdf";
+    update.type = "pdf";
+    update.size = 2_MB;
+    update.owner = "alice";  // bob updates content, ownership unchanged
+    update.acl.allow("bob", {Right::read, Right::write});
+    (void)co_await r.hc.node(1).create_object(update);
+    auto s = co_await r.hc.node(1).store_object(update.name);
+    EXPECT_TRUE(s.ok());
+  }(rig));
+}
+
+TEST(AclEnforcement, UntrustedVmCannotTouchPrivateObjects) {
+  Rig rig;
+  rig.hc.run([](Rig& r) -> Task<> {
+    Acl acl;
+    acl.allow("*", {Right::read});
+    std::vector<std::string> tags{"private"};  // explicit: GCC 12 coroutine bug
+    co_await r.store_owned(acl, tags);
+
+    // Bob (trusted) may read via the wildcard; the untrusted guest VM may
+    // not, despite the same rule.
+    auto bob = co_await r.hc.node(1).fetch_object("alice/doc.pdf");
+    EXPECT_TRUE(bob.ok());
+    auto guest = co_await r.hc.node(2).fetch_object("alice/doc.pdf");
+    EXPECT_FALSE(guest.ok());
+    EXPECT_EQ(guest.code(), Errc::permission_denied);
+  }(rig));
+}
+
+TEST(AclEnforcement, LegacyObjectsRemainOpen) {
+  Rig rig;
+  rig.hc.run([](Rig& r) -> Task<> {
+    ObjectMeta m;
+    m.name = "shared/open.jpg";
+    m.type = "jpg";
+    m.size = 1_MB;  // no owner → open
+    (void)co_await r.hc.node(0).create_object(m);
+    (void)co_await r.hc.node(0).store_object(m.name);
+    auto res = co_await r.hc.node(2).fetch_object(m.name);
+    EXPECT_TRUE(res.ok());
+  }(rig));
+}
+
+}  // namespace
+}  // namespace c4h::vstore

@@ -1,0 +1,214 @@
+// Collaborating Cloud4Home systems (§VII future work (v)): the shared
+// Neighborhood world, per-home isolation, the cross-home directory, and
+// home-to-home transfers over both access networks.
+#include <gtest/gtest.h>
+
+#include "src/federation/federation.hpp"
+
+namespace c4h::federation {
+namespace {
+
+using sim::Task;
+using vstore::HomeCloud;
+using vstore::HomeCloudConfig;
+using vstore::Neighborhood;
+using vstore::ObjectMeta;
+
+struct Rig {
+  Neighborhood hood;
+  std::unique_ptr<HomeCloud> alpha;
+  std::unique_ptr<HomeCloud> beta;
+  Federation fed{hood};
+
+  Rig() {
+    alpha = std::make_unique<HomeCloud>(hood, make_cfg("alpha"));
+    beta = std::make_unique<HomeCloud>(hood, make_cfg("beta"));
+    alpha->bootstrap();
+    beta->bootstrap();
+  }
+
+  static HomeCloudConfig make_cfg(const std::string& name) {
+    HomeCloudConfig cfg;
+    cfg.home_name = name;
+    cfg.netbooks = 2;
+    cfg.start_monitors = false;
+    cfg.wan_rate_jitter = 0.0;
+    cfg.wan_latency_jitter = 0.0;
+    return cfg;
+  }
+
+  Task<> store_in(HomeCloud& home, const std::string& name, Bytes size,
+                  bool to_cloud = false) {
+    ObjectMeta m;
+    m.name = name;
+    m.type = "jpg";
+    m.size = size;
+    (void)co_await home.node(0).create_object(m);
+    vstore::StoreOptions opts;
+    if (to_cloud) opts.policy.fallback = vstore::StoreTarget::remote_cloud;
+    auto s = co_await home.node(0).store_object(name, opts);
+    EXPECT_TRUE(s.ok());
+  }
+};
+
+TEST(Neighborhood, HomesShareOneClockAndNetwork) {
+  Rig rig;
+  EXPECT_EQ(&rig.alpha->sim(), &rig.beta->sim());
+  EXPECT_EQ(&rig.alpha->network(), &rig.beta->network());
+  EXPECT_EQ(&rig.alpha->s3(), &rig.beta->s3());
+  EXPECT_EQ(rig.hood.homes().size(), 2u);
+}
+
+TEST(Neighborhood, HomesHaveIsolatedMetadata) {
+  Rig rig;
+  rig.hood.run([](Rig& r) -> Task<> {
+    co_await r.store_in(*r.alpha, "private/tax.pdf", 1_MB);
+    // Home beta's DHT knows nothing about alpha's objects.
+    auto res = co_await r.beta->node(0).fetch_object("private/tax.pdf");
+    EXPECT_FALSE(res.ok());
+    EXPECT_EQ(res.code(), Errc::not_found);
+    // Alpha itself sees it fine.
+    auto mine = co_await r.alpha->node(1).fetch_object("private/tax.pdf");
+    EXPECT_TRUE(mine.ok());
+  }(rig));
+}
+
+TEST(Federation, PublishThenCrossHomeFetch) {
+  Rig rig;
+  rig.hood.run([](Rig& r) -> Task<> {
+    co_await r.store_in(*r.alpha, "shared/clip.jpg", 2_MB);
+    auto pub = co_await r.fed.publish(*r.alpha, r.alpha->node(0), "shared/clip.jpg");
+    EXPECT_TRUE(pub.ok());
+    EXPECT_EQ(r.fed.directory_size(), 1u);
+
+    auto got = co_await r.fed.fetch(*r.beta, r.beta->node(1), "shared/clip.jpg");
+    EXPECT_TRUE(got.ok());
+    if (!got.ok()) co_return;
+    EXPECT_EQ(got->size, 2_MB);
+    EXPECT_EQ(got->source_home, "alpha");
+    EXPECT_FALSE(got->local_home);
+    EXPECT_FALSE(got->from_shared_cloud);
+    // Crossed two access networks: seconds, not LAN-milliseconds.
+    EXPECT_GT(to_seconds(got->transfer), 1.0);
+    EXPECT_GT(got->directory_lookup, Duration::zero());
+  }(rig));
+  EXPECT_EQ(rig.fed.stats().cross_home_fetches, 1u);
+}
+
+TEST(Federation, FetchOwnHomeUsesLocalPath) {
+  Rig rig;
+  rig.hood.run([](Rig& r) -> Task<> {
+    co_await r.store_in(*r.alpha, "shared/own.jpg", 1_MB);
+    (void)co_await r.fed.publish(*r.alpha, r.alpha->node(0), "shared/own.jpg");
+    auto got = co_await r.fed.fetch(*r.alpha, r.alpha->node(1), "shared/own.jpg");
+    EXPECT_TRUE(got.ok());
+    if (got.ok()) {
+      EXPECT_TRUE(got->local_home);
+      EXPECT_LT(to_seconds(got->transfer), 1.0);  // stayed on the LAN
+    }
+  }(rig));
+}
+
+TEST(Federation, CloudResidentObjectServedFromS3) {
+  Rig rig;
+  rig.hood.run([](Rig& r) -> Task<> {
+    co_await r.store_in(*r.alpha, "shared/incloud.jpg", 2_MB, /*to_cloud=*/true);
+    (void)co_await r.fed.publish(*r.alpha, r.alpha->node(0), "shared/incloud.jpg");
+    auto got = co_await r.fed.fetch(*r.beta, r.beta->node(0), "shared/incloud.jpg");
+    EXPECT_TRUE(got.ok());
+    if (got.ok()) {
+      EXPECT_TRUE(got->from_shared_cloud);
+    }
+  }(rig));
+  EXPECT_EQ(rig.fed.stats().cloud_served, 1u);
+  EXPECT_EQ(rig.fed.stats().cross_home_fetches, 0u);
+}
+
+TEST(Federation, UnpublishedObjectNotFound) {
+  Rig rig;
+  rig.hood.run([](Rig& r) -> Task<> {
+    co_await r.store_in(*r.alpha, "hidden.jpg", 1_MB);
+    auto got = co_await r.fed.fetch(*r.beta, r.beta->node(0), "hidden.jpg");
+    EXPECT_FALSE(got.ok());
+    EXPECT_EQ(got.code(), Errc::not_found);
+  }(rig));
+}
+
+TEST(Federation, WithdrawRemovesAndGuardsOwnership) {
+  Rig rig;
+  rig.hood.run([](Rig& r) -> Task<> {
+    co_await r.store_in(*r.alpha, "shared/tmp.jpg", 1_MB);
+    (void)co_await r.fed.publish(*r.alpha, r.alpha->node(0), "shared/tmp.jpg");
+
+    // Beta may not withdraw alpha's share.
+    auto steal = co_await r.fed.withdraw(*r.beta, r.beta->node(0), "shared/tmp.jpg");
+    EXPECT_FALSE(steal.ok());
+    EXPECT_EQ(steal.code(), Errc::permission_denied);
+
+    auto mine = co_await r.fed.withdraw(*r.alpha, r.alpha->node(0), "shared/tmp.jpg");
+    EXPECT_TRUE(mine.ok());
+    EXPECT_EQ(r.fed.directory_size(), 0u);
+    auto gone = co_await r.fed.fetch(*r.beta, r.beta->node(0), "shared/tmp.jpg");
+    EXPECT_FALSE(gone.ok());
+  }(rig));
+}
+
+TEST(Federation, SourceNodeOfflineIsUnavailable) {
+  Rig rig;
+  rig.hood.run([](Rig& r) -> Task<> {
+    co_await r.store_in(*r.alpha, "shared/fragile.jpg", 1_MB);
+    (void)co_await r.fed.publish(*r.alpha, r.alpha->node(0), "shared/fragile.jpg");
+    r.alpha->node(0).host().set_online(false);
+    auto got = co_await r.fed.fetch(*r.beta, r.beta->node(0), "shared/fragile.jpg");
+    EXPECT_FALSE(got.ok());
+    EXPECT_EQ(got.code(), Errc::unavailable);
+  }(rig));
+}
+
+TEST(Federation, CrossHomeTransfersContendOnAccessLinks) {
+  // Two concurrent cross-home fetches from the same source home must share
+  // its single uplink. Objects are large enough that most bytes move in the
+  // post-slow-start phase, where the two flows genuinely contend.
+  Rig rig;
+  double solo = 0, shared_a = 0, shared_b = 0;
+  rig.hood.run([&](Rig& r) -> Task<> {
+    co_await r.store_in(*r.alpha, "shared/a.bin", 16_MB);
+    co_await r.store_in(*r.alpha, "shared/b.bin", 16_MB);
+    (void)co_await r.fed.publish(*r.alpha, r.alpha->node(0), "shared/a.bin");
+    (void)co_await r.fed.publish(*r.alpha, r.alpha->node(0), "shared/b.bin");
+
+    auto g0 = co_await r.fed.fetch(*r.beta, r.beta->node(0), "shared/a.bin");
+    if (g0.ok()) solo = to_seconds(g0->transfer);
+
+    std::vector<Task<>> both;
+    both.push_back([](Rig& rr, double& out) -> Task<> {
+      auto g = co_await rr.fed.fetch(*rr.beta, rr.beta->node(0), "shared/a.bin");
+      if (g.ok()) out = to_seconds(g->transfer);
+    }(r, shared_a));
+    both.push_back([](Rig& rr, double& out) -> Task<> {
+      auto g = co_await rr.fed.fetch(*rr.beta, rr.beta->node(1), "shared/b.bin");
+      if (g.ok()) out = to_seconds(g->transfer);
+    }(r, shared_b));
+    co_await sim::when_all(r.hood.sim(), std::move(both));
+  }(rig));
+  ASSERT_GT(solo, 0.0);
+  EXPECT_GT(shared_a, solo * 1.4);
+  EXPECT_GT(shared_b, solo * 1.4);
+}
+
+TEST(Neighborhood, ManyHomesBootstrapCleanly) {
+  Neighborhood hood;
+  std::vector<std::unique_ptr<HomeCloud>> homes;
+  for (int i = 0; i < 4; ++i) {
+    HomeCloudConfig cfg = Rig::make_cfg("home-" + std::to_string(i));
+    homes.push_back(std::make_unique<HomeCloud>(hood, cfg));
+  }
+  for (auto& h : homes) h->bootstrap();
+  for (auto& h : homes) {
+    EXPECT_EQ(h->node_count(), 3u);
+    EXPECT_EQ(&h->sim(), &hood.sim());
+  }
+}
+
+}  // namespace
+}  // namespace c4h::federation

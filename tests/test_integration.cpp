@@ -1,0 +1,223 @@
+// End-to-end integration: full home cloud + remote cloud under realistic
+// workloads, churn, and concurrent clients.
+#include <gtest/gtest.h>
+
+#include "src/trace/edonkey.hpp"
+#include "src/vstore/home_cloud.hpp"
+
+namespace c4h::vstore {
+namespace {
+
+using sim::Task;
+
+ObjectMeta meta_for(const trace::TraceFile& f) {
+  ObjectMeta m;
+  m.name = f.name;
+  m.type = f.type;
+  m.size = f.size;
+  if (f.is_private()) m.tags.push_back("private");
+  return m;
+}
+
+TEST(Integration, TraceWorkloadRunsCleanly) {
+  HomeCloudConfig cfg;
+  cfg.netbooks = 5;
+  HomeCloud hc{cfg};
+  hc.bootstrap();
+
+  trace::TraceConfig tcfg;
+  tcfg.file_count = 60;
+  tcfg.op_count = 150;
+  tcfg.fixed_range = trace::BucketRange{1_MB, 5_MB};  // keep the test quick
+  const auto w = trace::generate(tcfg);
+
+  int failures = 0;
+  hc.run([&w, &failures](HomeCloud& h) -> Task<> {
+    for (const auto& op : w.ops) {
+      auto& node = h.node(static_cast<std::size_t>(op.client) % h.node_count());
+      const auto& f = w.files[op.file];
+      if (op.kind == trace::OpKind::store) {
+        (void)co_await node.create_object(meta_for(f));
+        auto r = co_await node.store_object(f.name);
+        failures += !r.ok();
+      } else {
+        auto r = co_await node.fetch_object(f.name);
+        failures += !r.ok();
+      }
+    }
+  }(hc));
+  EXPECT_EQ(failures, 0);
+  EXPECT_GT(hc.kv().total_entries(), 0u);
+}
+
+TEST(Integration, ConcurrentClientsAllComplete) {
+  HomeCloudConfig cfg;
+  cfg.netbooks = 5;
+  HomeCloud hc{cfg};
+  hc.bootstrap();
+
+  // Each node's client stores then fetches its own set concurrently.
+  int completed = 0;
+  auto client_task = [](HomeCloud& h, std::size_t client, int& done) -> Task<> {
+    auto& node = h.node(client);
+    for (int i = 0; i < 4; ++i) {
+      const std::string name =
+          "c" + std::to_string(client) + "/obj" + std::to_string(i) + ".jpg";
+      ObjectMeta m;
+      m.name = name;
+      m.type = "jpg";
+      m.size = 3_MB;
+      (void)co_await node.create_object(m);
+      auto s = co_await node.store_object(name);
+      EXPECT_TRUE(s.ok());
+      auto f = co_await node.fetch_object(name);
+      EXPECT_TRUE(f.ok());
+    }
+    ++done;
+  };
+  std::vector<Task<>> clients;
+  for (std::size_t c = 0; c < hc.node_count(); ++c) {
+    clients.push_back(client_task(hc, c, completed));
+  }
+  hc.run(sim::when_all(hc.sim(), std::move(clients)));
+  EXPECT_EQ(completed, static_cast<int>(hc.node_count()));
+}
+
+TEST(Integration, ObjectsSurviveGracefulChurn) {
+  HomeCloudConfig cfg;
+  cfg.netbooks = 5;
+  HomeCloud hc{cfg};
+  hc.bootstrap();
+
+  hc.run([](HomeCloud& h) -> Task<> {
+    // Store 10 objects from node 0 (locally owned).
+    for (int i = 0; i < 10; ++i) {
+      const std::string name = "churn/obj" + std::to_string(i);
+      ObjectMeta m;
+      m.name = name;
+      m.type = "jpg";
+      m.size = 1_MB;
+      (void)co_await h.node(1).create_object(m);
+      (void)co_await h.node(1).store_object(name);
+    }
+    // Node 1 leaves gracefully. Its *metadata* keys get redistributed; the
+    // object files on its disk become unreachable, which fetch must report
+    // as unavailable, not crash.
+    co_await h.overlay().leave(h.node(1).chimera());
+
+    int ok = 0, unavailable = 0, other = 0;
+    for (int i = 0; i < 10; ++i) {
+      auto r = co_await h.node(2).fetch_object("churn/obj" + std::to_string(i));
+      if (r.ok()) {
+        ++ok;
+      } else if (r.code() == Errc::unavailable) {
+        ++unavailable;
+      } else {
+        ++other;
+      }
+    }
+    EXPECT_EQ(ok + unavailable, 10) << "metadata lookups must all resolve";
+    EXPECT_EQ(other, 0);
+    EXPECT_EQ(unavailable, 10) << "files lived on the departed node's disk";
+  }(hc));
+}
+
+TEST(Integration, CloudObjectsSurviveHomeChurn) {
+  HomeCloudConfig cfg;
+  cfg.netbooks = 4;
+  HomeCloud hc{cfg};
+  hc.bootstrap();
+
+  hc.run([](HomeCloud& h) -> Task<> {
+    ObjectMeta m;
+    m.name = "important.avi";
+    m.type = "avi";
+    m.size = 5_MB;
+    (void)co_await h.node(1).create_object(m);
+    StoreOptions opts;
+    opts.policy = StoragePolicy::privacy();  // avi → remote cloud
+    (void)co_await h.node(1).store_object("important.avi", opts);
+
+    co_await h.overlay().leave(h.node(1).chimera());
+
+    auto r = co_await h.node(0).fetch_object("important.avi");
+    EXPECT_TRUE(r.ok()) << "cloud-stored object must survive home churn";
+    if (r.ok()) {
+      EXPECT_TRUE(r->from_cloud);
+    }
+  }(hc));
+}
+
+TEST(Integration, SurveillancePipelineEndToEnd) {
+  // The home-security use case (§II): camera node stores an image, face
+  // detection then recognition run wherever the decision engine picks.
+  HomeCloudConfig cfg;
+  cfg.netbooks = 4;
+  HomeCloud hc{cfg};
+  hc.bootstrap();
+
+  auto fdet = services::face_detect_profile();
+  auto frec = services::face_recognize_profile(60_MB);
+  hc.registry().add_profile(fdet);
+  hc.registry().add_profile(frec);
+  hc.desktop().deploy_service(fdet);
+  hc.desktop().deploy_service(frec);
+  hc.deploy_service_in_cloud(fdet);
+  hc.deploy_service_in_cloud(frec);
+
+  hc.run([](HomeCloud& h) -> Task<> {
+    (void)co_await h.desktop().publish_services();
+    const auto fd = *h.registry().profile("face-detect", 1);
+    const auto fr = *h.registry().profile("face-recognize", 2);
+
+    auto& camera = h.node(0);
+    for (int i = 0; i < 3; ++i) {
+      const std::string img = "cam/frame" + std::to_string(i) + ".jpg";
+      ObjectMeta m;
+      m.name = img;
+      m.type = "jpg";
+      m.size = 512_KB;
+      m.tags = {"surveillance"};
+      (void)co_await camera.create_object(m);
+      auto s = co_await camera.store_object(img);
+      EXPECT_TRUE(s.ok());
+
+      auto det = co_await camera.process(img, fd);
+      EXPECT_TRUE(det.ok());
+      auto recg = co_await camera.process(img, fr);
+      EXPECT_TRUE(recg.ok());
+      if (recg.ok()) {
+        EXPECT_EQ(recg->output, 0u) << "recognition returns a match id";
+      }
+    }
+  }(hc));
+}
+
+TEST(Integration, MonitoringKeepsRunningDuringWorkload) {
+  HomeCloudConfig cfg;
+  cfg.netbooks = 3;
+  cfg.monitor.period = milliseconds(500);
+  HomeCloud hc{cfg};
+  hc.bootstrap();
+
+  hc.sim().spawn([](HomeCloud& h) -> Task<> {
+    for (int i = 0; i < 5; ++i) {
+      const std::string name = "mon/obj" + std::to_string(i);
+      ObjectMeta m;
+      m.name = name;
+      m.type = "jpg";
+      m.size = 10_MB;
+      (void)co_await h.node(0).create_object(m);
+      (void)co_await h.node(0).store_object(name);
+      co_await h.sim().delay(seconds(1));
+    }
+  }(hc));
+  hc.sim().run_until(seconds(8));
+
+  for (std::size_t i = 0; i < hc.node_count(); ++i) {
+    EXPECT_GT(hc.node(i).monitor().updates_published(), 5u) << "node " << i;
+  }
+}
+
+}  // namespace
+}  // namespace c4h::vstore

@@ -1,0 +1,408 @@
+// DHT key-value store: overwrite policies, path caching + invalidation,
+// replication, leave-time redistribution, failure repair.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/rng.hpp"
+#include "src/common/stats.hpp"
+#include "src/kv/kvstore.hpp"
+
+namespace c4h::kv {
+namespace {
+
+using overlay::ChimeraNode;
+using overlay::Overlay;
+using overlay::OverlayConfig;
+using sim::Simulation;
+using sim::Task;
+
+Buffer buf(const std::string& s) { return Buffer(s.begin(), s.end()); }
+std::string str(const Buffer& b) { return std::string(b.begin(), b.end()); }
+
+struct Rig {
+  Simulation sim{7};
+  net::Topology topo;
+  std::vector<std::unique_ptr<vmm::Host>> hosts;
+  std::unique_ptr<net::Network> net;
+  std::unique_ptr<Overlay> overlay;
+  std::unique_ptr<KvStore> kv;
+  std::vector<ChimeraNode*> nodes;
+
+  explicit Rig(int n, KvConfig kcfg = {}, OverlayConfig ocfg = {}) {
+    const auto sw = topo.add_node();
+    for (int i = 0; i < n; ++i) {
+      vmm::HostSpec spec;
+      spec.name = "host-" + std::to_string(i);
+      hosts.push_back(std::make_unique<vmm::Host>(sim, spec));
+      const auto nn = topo.add_node();
+      topo.add_duplex(nn, sw, mbps(95.5), microseconds(150));
+      hosts.back()->set_net_node(nn);
+    }
+    net = std::make_unique<net::Network>(sim, std::move(topo));
+    overlay = std::make_unique<Overlay>(sim, *net, ocfg);
+    kv = std::make_unique<KvStore>(*overlay, kcfg);
+    for (int i = 0; i < n; ++i) {
+      nodes.push_back(&overlay->create_node("node-" + std::to_string(i),
+                                            *hosts[static_cast<std::size_t>(i)]));
+    }
+    sim.spawn([](Rig& r) -> Task<> {
+      for (std::size_t i = 0; i < r.nodes.size(); ++i) {
+        (void)co_await r.overlay->join(*r.nodes[i], i == 0 ? nullptr : r.nodes[0]);
+      }
+    }(*this));
+    sim.run();
+  }
+
+  // Runs a coroutine to completion (periodic tasks keep running).
+  template <typename Fn>
+  void run(Fn&& body) {
+    sim.run_task(body(*this));
+  }
+};
+
+TEST(Kv, PutThenGetRoundTrips) {
+  Rig rig{6};
+  rig.run([](Rig& r) -> Task<> {
+    const Key k = Key::from_name("obj-1");
+    auto put = co_await r.kv->put(*r.nodes[0], k, buf("hello"));
+    EXPECT_TRUE(put.ok());
+    auto got = co_await r.kv->get(*r.nodes[3], k);
+    EXPECT_TRUE(got.ok());
+    if (got.ok()) {
+      EXPECT_EQ(str(*got), "hello");
+    }
+  });
+}
+
+TEST(Kv, GetMissingKeyIsNotFound) {
+  Rig rig{4};
+  rig.run([](Rig& r) -> Task<> {
+    auto got = co_await r.kv->get(*r.nodes[0], Key::from_name("nothing"));
+    EXPECT_FALSE(got.ok());
+    EXPECT_EQ(got.code(), Errc::not_found);
+  });
+}
+
+TEST(Kv, OverwriteReplacesValue) {
+  Rig rig{4};
+  rig.run([](Rig& r) -> Task<> {
+    const Key k = Key::from_name("obj");
+    (void)co_await r.kv->put(*r.nodes[0], k, buf("v1"));
+    (void)co_await r.kv->put(*r.nodes[1], k, buf("v2"), OverwritePolicy::overwrite);
+    auto got = co_await r.kv->get_all(*r.nodes[2], k);
+    EXPECT_TRUE(got.ok());
+    if (got.ok()) {
+      EXPECT_EQ(got->size(), 1u);
+      EXPECT_EQ(str(got->back()), "v2");
+    }
+  });
+}
+
+TEST(Kv, ChainAppendsVersions) {
+  Rig rig{4};
+  rig.run([](Rig& r) -> Task<> {
+    const Key k = Key::from_name("obj");
+    (void)co_await r.kv->put(*r.nodes[0], k, buf("v1"), OverwritePolicy::chain);
+    (void)co_await r.kv->put(*r.nodes[1], k, buf("v2"), OverwritePolicy::chain);
+    (void)co_await r.kv->put(*r.nodes[2], k, buf("v3"), OverwritePolicy::chain);
+    auto got = co_await r.kv->get_all(*r.nodes[3], k);
+    EXPECT_TRUE(got.ok());
+    if (got.ok()) {
+      EXPECT_EQ(got->size(), 3u);
+      EXPECT_EQ(str(got->front()), "v1");
+      EXPECT_EQ(str(got->back()), "v3");
+    }
+    // get returns the newest version.
+    auto latest = co_await r.kv->get(*r.nodes[0], k);
+    EXPECT_TRUE(latest.ok());
+    if (latest.ok()) {
+      EXPECT_EQ(str(*latest), "v3");
+    }
+  });
+}
+
+TEST(Kv, ErrorPolicyRejectsExistingKey) {
+  Rig rig{4};
+  rig.run([](Rig& r) -> Task<> {
+    const Key k = Key::from_name("obj");
+    auto first = co_await r.kv->put(*r.nodes[0], k, buf("v1"), OverwritePolicy::error);
+    EXPECT_TRUE(first.ok());
+    auto second = co_await r.kv->put(*r.nodes[1], k, buf("v2"), OverwritePolicy::error);
+    EXPECT_FALSE(second.ok());
+    EXPECT_EQ(second.code(), Errc::already_exists);
+    auto got = co_await r.kv->get(*r.nodes[2], k);
+    EXPECT_TRUE(got.ok());
+    if (got.ok()) {
+      EXPECT_EQ(str(*got), "v1");  // original survived
+    }
+  });
+}
+
+TEST(Kv, EraseRemovesEverywhere) {
+  Rig rig{6};
+  rig.run([](Rig& r) -> Task<> {
+    const Key k = Key::from_name("obj");
+    (void)co_await r.kv->put(*r.nodes[0], k, buf("v"));
+    (void)co_await r.kv->get(*r.nodes[5], k);  // seed caches
+    auto erased = co_await r.kv->erase(*r.nodes[1], k);
+    EXPECT_TRUE(erased.ok());
+    auto got = co_await r.kv->get(*r.nodes[2], k);
+    EXPECT_FALSE(got.ok());
+    EXPECT_EQ(r.kv->total_entries(), 0u);
+  });
+}
+
+TEST(Kv, RepeatedGetHitsCacheOrLocal) {
+  KvConfig cfg;
+  cfg.path_caching = true;
+  Rig rig{6, cfg};
+  rig.run([](Rig& r) -> Task<> {
+    const Key k = Key::from_name("popular-object");
+    (void)co_await r.kv->put(*r.nodes[0], k, buf("v"));
+    // Find an origin that is not the owner.
+    const Key owner = r.overlay->true_owner(k);
+    ChimeraNode* origin = nullptr;
+    for (auto* n : r.nodes) {
+      if (n->id() != owner) {
+        origin = n;
+        break;
+      }
+    }
+    (void)co_await r.kv->get(*origin, k);  // populates origin's cache
+    const auto hits_before = r.kv->stats().local_hits;
+    (void)co_await r.kv->get(*origin, k);  // must be local now
+    EXPECT_EQ(r.kv->stats().local_hits, hits_before + 1);
+    EXPECT_TRUE(r.kv->has_cache(origin->id(), k));
+  });
+}
+
+TEST(Kv, CachedCopiesAreRefreshedOnPut) {
+  Rig rig{6};
+  rig.run([](Rig& r) -> Task<> {
+    const Key k = Key::from_name("coherent-object");
+    (void)co_await r.kv->put(*r.nodes[0], k, buf("old"));
+    const Key owner = r.overlay->true_owner(k);
+    ChimeraNode* origin = nullptr;
+    for (auto* n : r.nodes) {
+      if (n->id() != owner) {
+        origin = n;
+        break;
+      }
+    }
+    (void)co_await r.kv->get(*origin, k);  // cache "old" at origin
+    (void)co_await r.kv->put(*r.nodes[0], k, buf("new"));
+    co_await r.sim.delay(seconds(1));  // let async cache refresh land
+    auto got = co_await r.kv->get(*origin, k);
+    EXPECT_TRUE(got.ok());
+    if (got.ok()) {
+      EXPECT_EQ(str(*got), "new") << "stale cache served after update";
+    }
+  });
+}
+
+TEST(Kv, CachingDisabledMeansNoCacheHits) {
+  KvConfig cfg;
+  cfg.path_caching = false;
+  Rig rig{6, cfg};
+  rig.run([](Rig& r) -> Task<> {
+    const Key k = Key::from_name("obj");
+    (void)co_await r.kv->put(*r.nodes[0], k, buf("v"));
+    for (int i = 0; i < 5; ++i) (void)co_await r.kv->get(*r.nodes[1], k);
+    EXPECT_EQ(r.kv->stats().cache_hits, 0u);
+  });
+}
+
+TEST(Kv, ReplicasExistAfterPut) {
+  KvConfig cfg;
+  cfg.replication = 2;
+  Rig rig{6, cfg};
+  rig.run([](Rig& r) -> Task<> {
+    const Key k = Key::from_name("replicated-object");
+    (void)co_await r.kv->put(*r.nodes[0], k, buf("v"));
+    co_await r.sim.delay(seconds(1));  // async replication
+    const Key owner = r.overlay->true_owner(k);
+    int replicas = 0;
+    for (auto* n : r.nodes) {
+      if (n->id() != owner && r.kv->has_replica(n->id(), k)) ++replicas;
+    }
+    EXPECT_EQ(replicas, 2);
+  });
+}
+
+TEST(Kv, GracefulLeaveRedistributesKeys) {
+  Rig rig{6};
+  rig.run([](Rig& r) -> Task<> {
+    // Store a bunch of keys, then have every node leave one by one except
+    // the last two; all keys must remain readable.
+    std::vector<Key> keys;
+    for (int i = 0; i < 24; ++i) {
+      const Key k = Key::from_name("obj-" + std::to_string(i));
+      keys.push_back(k);
+      (void)co_await r.kv->put(*r.nodes[0], k, buf("value-" + std::to_string(i)));
+    }
+    co_await r.overlay->leave(*r.nodes[2]);
+    co_await r.overlay->leave(*r.nodes[4]);
+
+    for (std::size_t i = 0; i < keys.size(); ++i) {
+      auto got = co_await r.kv->get(*r.nodes[0], keys[i]);
+      EXPECT_TRUE(got.ok()) << "key " << i << " lost after leave";
+      if (got.ok()) {
+        EXPECT_EQ(str(*got), "value-" + std::to_string(i));
+      }
+    }
+    EXPECT_GT(r.kv->stats().redistribution_msgs, 0u);
+  });
+}
+
+TEST(Kv, FailureWithReplicationPreservesData) {
+  KvConfig cfg;
+  cfg.replication = 2;
+  OverlayConfig ocfg;
+  ocfg.stabilize_period = milliseconds(500);
+  Rig rig{6, cfg, ocfg};
+  rig.overlay->start_stabilization();
+  rig.run([](Rig& r) -> Task<> {
+    std::vector<Key> keys;
+    for (int i = 0; i < 24; ++i) {
+      const Key k = Key::from_name("fobj-" + std::to_string(i));
+      keys.push_back(k);
+      (void)co_await r.kv->put(*r.nodes[0], k, buf("value-" + std::to_string(i)));
+    }
+    co_await r.sim.delay(seconds(1));  // replication settles
+
+    r.overlay->crash(*r.nodes[3]);
+    co_await r.sim.delay(seconds(5));  // detection + repair
+
+    int recovered = 0;
+    for (std::size_t i = 0; i < keys.size(); ++i) {
+      auto got = co_await r.kv->get(*r.nodes[0], keys[i]);
+      if (got.ok() && str(*got) == "value-" + std::to_string(i)) ++recovered;
+    }
+    EXPECT_EQ(recovered, static_cast<int>(keys.size()));
+  });
+  // Stop the heartbeats so sim.run() terminates: destructor handles frames.
+}
+
+TEST(Kv, FailureWithoutReplicationLosesOnlyOwnedKeys) {
+  KvConfig cfg;
+  cfg.replication = 0;
+  OverlayConfig ocfg;
+  ocfg.stabilize_period = milliseconds(500);
+  Rig rig{6, cfg, ocfg};
+  rig.overlay->start_stabilization();
+  rig.run([](Rig& r) -> Task<> {
+    std::vector<Key> keys;
+    for (int i = 0; i < 30; ++i) {
+      const Key k = Key::from_name("uobj-" + std::to_string(i));
+      keys.push_back(k);
+      (void)co_await r.kv->put(*r.nodes[0], k, buf("v"));
+    }
+    const Key victim = r.nodes[3]->id();
+    const auto owned = r.kv->primary_keys(victim).size();
+    r.overlay->crash(*r.nodes[3]);
+    co_await r.sim.delay(seconds(5));
+
+    std::size_t lost = 0;
+    for (const Key k : keys) {
+      auto got = co_await r.kv->get(*r.nodes[0], k);
+      if (!got.ok()) ++lost;
+    }
+    EXPECT_EQ(lost, owned);  // exactly the victim's keys are gone
+  });
+}
+
+TEST(Kv, KeysSpreadAcrossNodes) {
+  Rig rig{6};
+  rig.run([](Rig& r) -> Task<> {
+    for (int i = 0; i < 120; ++i) {
+      (void)co_await r.kv->put(*r.nodes[0], Key::from_name("spread-" + std::to_string(i)),
+                               buf("v"));
+    }
+    int holders = 0;
+    for (auto* n : r.nodes) {
+      if (!r.kv->primary_keys(n->id()).empty()) ++holders;
+    }
+    EXPECT_GE(holders, 4) << "keys should spread across most of 6 nodes";
+  });
+}
+
+TEST(Kv, LookupLatencyIsConstantInValueSizeRegime) {
+  // Table I: DHT lookup cost is ~12-16 ms regardless of object size — the
+  // metadata entry is small either way. Verify lookups cost milliseconds,
+  // not a function of the (separately transferred) object.
+  OverlayConfig ocfg;
+  ocfg.per_hop_processing = milliseconds(1);
+  Rig rig{6, {}, ocfg};
+  rig.run([](Rig& r) -> Task<> {
+    const Key k = Key::from_name("meta");
+    (void)co_await r.kv->put(*r.nodes[0], k, buf(std::string(200, 'm')));
+    KvConfig cfg;  // defaults
+    Samples lat;
+    for (int i = 0; i < 10; ++i) {
+      // Alternate origins to avoid pure local hits.
+      auto* origin = r.nodes[static_cast<std::size_t>(1 + (i % 5))];
+      const auto t0 = r.sim.now();
+      (void)co_await r.kv->get(*origin, k);
+      lat.add(to_milliseconds(r.sim.now() - t0));
+    }
+    EXPECT_LT(lat.max(), 25.0);
+  });
+}
+
+// Property sweep: random workloads keep the store consistent with an oracle
+// map, across cache/replication configurations.
+struct KvSweepParam {
+  bool caching;
+  int replication;
+  std::uint64_t seed;
+};
+
+class KvRandomSweep : public ::testing::TestWithParam<KvSweepParam> {};
+
+TEST_P(KvRandomSweep, MatchesOracleMap) {
+  const auto param = GetParam();
+  KvConfig cfg;
+  cfg.path_caching = param.caching;
+  cfg.replication = param.replication;
+  Rig rig{6, cfg};
+  rig.run([param](Rig& r) -> Task<> {
+    Rng rng{param.seed};
+    std::unordered_map<Key, std::string> oracle;
+    for (int step = 0; step < 300; ++step) {
+      const Key k = Key::from_name("rk-" + std::to_string(rng.below(40)));
+      auto* origin = r.nodes[rng.below(r.nodes.size())];
+      const double dice = rng.uniform();
+      if (dice < 0.5) {
+        const std::string v = "v" + std::to_string(step);
+        (void)co_await r.kv->put(*origin, k, buf(v));
+        oracle[k] = v;
+      } else if (dice < 0.9) {
+        auto got = co_await r.kv->get(*origin, k);
+        const auto it = oracle.find(k);
+        if (it == oracle.end()) {
+          EXPECT_FALSE(got.ok()) << "phantom key";
+        } else {
+          EXPECT_TRUE(got.ok());
+          if (got.ok()) {
+            EXPECT_EQ(str(*got), it->second) << "stale value at step " << step;
+          }
+        }
+      } else {
+        auto er = co_await r.kv->erase(*origin, k);
+        EXPECT_EQ(er.ok(), oracle.erase(k) > 0);
+      }
+    }
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, KvRandomSweep,
+    ::testing::Values(KvSweepParam{true, 1, 11}, KvSweepParam{true, 0, 22},
+                      KvSweepParam{false, 1, 33}, KvSweepParam{false, 0, 44},
+                      KvSweepParam{true, 2, 55}, KvSweepParam{true, 3, 66}));
+
+}  // namespace
+}  // namespace c4h::kv

@@ -1,0 +1,174 @@
+// Resource monitoring: record serialization, periodic publication into the
+// KV store, liveness of the values used by placement decisions.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/mon/monitor.hpp"
+
+namespace c4h::mon {
+namespace {
+
+using overlay::ChimeraNode;
+using overlay::Overlay;
+using sim::Simulation;
+using sim::Task;
+
+TEST(ResourceRecord, SerializeRoundTrip) {
+  ResourceRecord rec;
+  rec.node = Key::from_name("node-a");
+  rec.cpu_load = 0.42;
+  rec.free_memory = 512_MB;
+  rec.mandatory_bin_free = 3_GB;
+  rec.voluntary_bin_free = 1_GB;
+  rec.uplink_estimate = mbps(4.5);
+  rec.battery = 0.77;
+  rec.battery_powered = true;
+  rec.sampled_at_ns = 123456789;
+
+  auto back = ResourceRecord::deserialize(rec.serialize());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->node, rec.node);
+  EXPECT_DOUBLE_EQ(back->cpu_load, rec.cpu_load);
+  EXPECT_EQ(back->free_memory, rec.free_memory);
+  EXPECT_EQ(back->mandatory_bin_free, rec.mandatory_bin_free);
+  EXPECT_EQ(back->voluntary_bin_free, rec.voluntary_bin_free);
+  EXPECT_DOUBLE_EQ(back->uplink_estimate, rec.uplink_estimate);
+  EXPECT_DOUBLE_EQ(back->battery, rec.battery);
+  EXPECT_TRUE(back->battery_powered);
+  EXPECT_EQ(back->sampled_at_ns, rec.sampled_at_ns);
+}
+
+TEST(ResourceRecord, DeserializeGarbageFails) {
+  Buffer junk{1, 2, 3};
+  EXPECT_FALSE(ResourceRecord::deserialize(junk).ok());
+}
+
+struct Rig {
+  Simulation sim{5};
+  net::Topology topo;
+  std::vector<std::unique_ptr<vmm::Host>> hosts;
+  std::unique_ptr<net::Network> net;
+  std::unique_ptr<Overlay> overlay;
+  std::unique_ptr<kv::KvStore> kv;
+  std::vector<ChimeraNode*> nodes;
+  std::vector<std::unique_ptr<ResourceMonitor>> monitors;
+
+  explicit Rig(int n, MonitorConfig mcfg = {}) {
+    const auto sw = topo.add_node();
+    for (int i = 0; i < n; ++i) {
+      vmm::HostSpec spec;
+      spec.name = "host-" + std::to_string(i);
+      if (i > 0) spec.battery.capacity_wh = 30.0;  // all but host-0 portable
+      hosts.push_back(std::make_unique<vmm::Host>(sim, spec));
+      const auto nn = topo.add_node();
+      topo.add_duplex(nn, sw, mbps(95.5), microseconds(150));
+      hosts.back()->set_net_node(nn);
+    }
+    net = std::make_unique<net::Network>(sim, std::move(topo));
+    overlay = std::make_unique<Overlay>(sim, *net);
+    kv = std::make_unique<kv::KvStore>(*overlay);
+    for (int i = 0; i < n; ++i) {
+      nodes.push_back(&overlay->create_node("node-" + std::to_string(i),
+                                            *hosts[static_cast<std::size_t>(i)]));
+    }
+    sim.spawn([](Rig& r) -> Task<> {
+      for (std::size_t i = 0; i < r.nodes.size(); ++i) {
+        (void)co_await r.overlay->join(*r.nodes[i], i == 0 ? nullptr : r.nodes[0]);
+      }
+    }(*this));
+    sim.run();
+    for (int i = 0; i < n; ++i) {
+      BinWatcher w;
+      w.mandatory_free = [] { return Bytes{10_GB}; };
+      w.voluntary_free = [] { return Bytes{5_GB}; };
+      monitors.push_back(std::make_unique<ResourceMonitor>(
+          *nodes[static_cast<std::size_t>(i)], *kv, w, mcfg));
+    }
+  }
+};
+
+TEST(Monitor, PublishOnceMakesRecordFetchable) {
+  Rig rig{4};
+  rig.sim.spawn([](Rig& r) -> Task<> {
+    co_await r.monitors[1]->publish_once();
+    auto rec = co_await fetch_record(*r.kv, *r.nodes[3], r.nodes[1]->id());
+    EXPECT_TRUE(rec.ok());
+    if (rec.ok()) {
+      EXPECT_EQ(rec->node, r.nodes[1]->id());
+      EXPECT_EQ(rec->mandatory_bin_free, 10_GB);
+      EXPECT_TRUE(rec->battery_powered);
+    }
+  }(rig));
+  rig.sim.run();
+}
+
+TEST(Monitor, PeriodicUpdatesRefreshTimestamp) {
+  MonitorConfig cfg;
+  cfg.period = milliseconds(500);
+  Rig rig{3, cfg};
+  rig.monitors[2]->start();
+  rig.sim.run_until(seconds(3));
+  EXPECT_GE(rig.monitors[2]->updates_published(), 5u);
+
+  std::int64_t ts = -1;
+  rig.sim.spawn([](Rig& r, std::int64_t& out) -> Task<> {
+    auto rec = co_await fetch_record(*r.kv, *r.nodes[0], r.nodes[2]->id());
+    EXPECT_TRUE(rec.ok());
+    if (rec.ok()) out = rec->sampled_at_ns;
+  }(rig, ts));
+  rig.sim.run_until(seconds(4));
+  EXPECT_GE(ts, to_seconds(seconds(2)) * 1e9);  // a recent sample, not the first
+}
+
+TEST(Monitor, CpuLoadIsReflected) {
+  Rig rig{3};
+  auto& host = *rig.hosts[1];
+  auto& vm = host.create_guest("vm", 2, 256_MB);
+  rig.sim.spawn([](vmm::Host& h, vmm::Domain& d) -> Task<> {
+    co_await h.execute(d, 1000.0, 2);  // long-running load
+  }(host, vm));
+  rig.sim.spawn([](Rig& r) -> Task<> {
+    co_await r.sim.delay(seconds(1));
+    co_await r.monitors[1]->publish_once();
+    auto rec = co_await fetch_record(*r.kv, *r.nodes[0], r.nodes[1]->id());
+    EXPECT_TRUE(rec.ok());
+    if (rec.ok()) {
+      EXPECT_GT(rec->cpu_load, 0.9);
+    }
+  }(rig));
+  rig.sim.run_until(seconds(10));
+}
+
+TEST(Monitor, StopsWhenNodeGoesOffline) {
+  MonitorConfig cfg;
+  cfg.period = milliseconds(200);
+  Rig rig{3, cfg};
+  rig.monitors[1]->start();
+  rig.sim.run_until(seconds(1));
+  const auto published = rig.monitors[1]->updates_published();
+  EXPECT_GT(published, 0u);
+  rig.hosts[1]->set_online(false);
+  rig.sim.run_until(seconds(3));
+  EXPECT_LE(rig.monitors[1]->updates_published(), published + 1);
+}
+
+TEST(Monitor, MessagingOverheadScalesWithFrequency) {
+  // The paper makes the period configurable "to contain messaging
+  // overheads": a faster monitor must cost proportionally more messages.
+  auto run_with_period = [](Duration period) {
+    MonitorConfig cfg;
+    cfg.period = period;
+    Rig rig{4, cfg};
+    const auto msgs_before = rig.net->stats().messages_sent;
+    for (auto& m : rig.monitors) m->start();
+    rig.sim.run_until(rig.sim.now() + seconds(10));
+    return rig.net->stats().messages_sent - msgs_before;
+  };
+  const auto fast = run_with_period(milliseconds(500));
+  const auto slow = run_with_period(seconds(5));
+  EXPECT_GT(fast, slow * 3);
+}
+
+}  // namespace
+}  // namespace c4h::mon

@@ -1,0 +1,188 @@
+// Service profiles, execution model, and registry-based discovery.
+#include <gtest/gtest.h>
+
+#include "src/services/registry.hpp"
+#include "src/services/service.hpp"
+#include "src/vstore/home_cloud.hpp"
+
+namespace c4h::services {
+namespace {
+
+using sim::Simulation;
+using sim::Task;
+
+TEST(ServiceProfile, WorkFollowsQuadraticModel) {
+  const auto p = face_detect_profile();
+  for (const double mib : {0.25, 1.0, 2.0, 4.0}) {
+    const double want =
+        p.fixed_gigacycles + p.gigacycles_per_mib * mib + p.gigacycles_per_mib2 * mib * mib;
+    EXPECT_NEAR(p.work_for(static_cast<Bytes>(mib * 1024 * 1024)), want, 1e-9);
+  }
+  // Super-linear: doubling the input more than doubles the marginal work.
+  const double w1 = p.work_for(1_MB) - p.fixed_gigacycles;
+  const double w2 = p.work_for(2_MB) - p.fixed_gigacycles;
+  EXPECT_GT(w2, 2.0 * w1);
+}
+
+TEST(ServiceProfile, FaceRecWorkingSetIncludesTrainingData) {
+  const auto p = face_recognize_profile(60_MB);
+  EXPECT_GE(p.working_set_for(0), 60_MB);
+  EXPECT_GT(p.working_set_for(2_MB), p.working_set_for(1_MB));
+}
+
+TEST(ServiceProfile, X264ShrinksOutput) {
+  const auto p = x264_profile();
+  EXPECT_LT(p.output_size(100_MB), 50_MB);
+}
+
+TEST(ServiceProfile, FaceRecOutputIsJustAnId) {
+  const auto p = face_recognize_profile();
+  EXPECT_EQ(p.output_size(2_MB), 0u);
+}
+
+TEST(ServiceProfile, AdmissibleChecksMinResources) {
+  Simulation sim;
+  vmm::HostSpec hs;
+  hs.name = "h";
+  hs.cores = 2;
+  hs.ghz = 1.66;
+  vmm::Host host{sim, hs};
+  auto& tiny = host.create_guest("tiny", 1, 32_MB);
+  auto& ok = host.create_guest("ok", 1, 256_MB);
+  const auto p = face_detect_profile();
+  EXPECT_FALSE(p.admissible(tiny));
+  EXPECT_TRUE(p.admissible(ok));
+}
+
+TEST(ServiceProfile, EstimateFasterOnBiggerMachine) {
+  Simulation sim;
+  vmm::HostSpec atom;
+  atom.name = "atom";
+  atom.cores = 2;
+  atom.ghz = 1.3;
+  vmm::Host atom_host{sim, atom};
+  auto& s1 = atom_host.create_guest("s1", 1, 512_MB);
+
+  vmm::HostSpec quad;
+  quad.name = "quad";
+  quad.cores = 4;
+  quad.ghz = 1.8;
+  vmm::Host quad_host{sim, quad};
+  auto& s2 = quad_host.create_guest("s2", 4, 768_MB);
+
+  const auto p = face_detect_profile();
+  EXPECT_GT(p.estimate(s1, 1_MB), p.estimate(s2, 1_MB));
+}
+
+TEST(ServiceProfile, EstimateBlowsUpWhenMemoryTooSmall) {
+  // Fig 7's S2: 128 MB VM; face recognition's working set at 2 MB images
+  // exceeds it, so the estimate must degrade sharply vs the 1 MB case.
+  Simulation sim;
+  vmm::HostSpec quad;
+  quad.name = "quad";
+  quad.cores = 4;
+  quad.ghz = 1.8;
+  vmm::Host host{sim, quad};
+  auto& s2 = host.create_guest("s2", 4, 128_MB);
+
+  const auto frec = face_recognize_profile(60_MB);
+  const double t_small = to_seconds(frec.estimate(s2, 256_KB));
+  const double t1 = to_seconds(frec.estimate(s2, 1_MB));
+  const double t2 = to_seconds(frec.estimate(s2, 2_MB));
+  // Thrash multiplier makes 2 MB disproportionately slower than 2x the 1 MB
+  // time would suggest.
+  EXPECT_GT(t2 / t1, 2.5) << "no visible thrash at 2 MB";
+  EXPECT_LT(t1 / t_small, 12.0);
+}
+
+TEST(ExecuteService, PaysTheThrashPenalty) {
+  Simulation sim;
+  vmm::HostSpec hs;
+  hs.name = "h";
+  hs.cores = 4;
+  hs.ghz = 1.8;
+  hs.virt_overhead = 0.0;
+  vmm::Host host{sim, hs};
+  auto& fits = host.create_guest("fits", 2, 512_MB);
+  auto& thrashes = host.create_guest("thrashes", 2, 128_MB);
+
+  const auto frec = face_recognize_profile(60_MB);
+  Duration t_fit{}, t_thrash{};
+  sim.spawn([](Simulation& s, vmm::Domain& d, const ServiceProfile p, Duration& out) -> Task<> {
+    const auto t0 = s.now();
+    (void)co_await execute_service(p, d, 2_MB);
+    out = s.now() - t0;
+  }(sim, fits, frec, t_fit));
+  sim.run();
+  sim.spawn([](Simulation& s, vmm::Domain& d, const ServiceProfile p, Duration& out) -> Task<> {
+    const auto t0 = s.now();
+    (void)co_await execute_service(p, d, 2_MB);
+    out = s.now() - t0;
+  }(sim, thrashes, frec, t_thrash));
+  sim.run();
+  EXPECT_GT(to_seconds(t_thrash), to_seconds(t_fit) * 1.5);
+}
+
+TEST(Registry, RegisterAndLookup) {
+  vstore::HomeCloudConfig cfg;
+  cfg.netbooks = 3;
+  vstore::HomeCloud hc{cfg};
+  hc.bootstrap();
+
+  auto fdet = face_detect_profile();
+  hc.registry().add_profile(fdet);
+  ASSERT_NE(hc.registry().profile("face-detect", 1), nullptr);
+  EXPECT_EQ(hc.registry().profile("face-detect", 99), nullptr);
+
+  hc.run([](vstore::HomeCloud& h) -> Task<> {
+    const auto fd = *h.registry().profile("face-detect", 1);
+    auto r1 = co_await h.registry().register_node(h.node(0).chimera(), fd);
+    EXPECT_TRUE(r1.ok());
+    auto r2 = co_await h.registry().register_node(h.node(2).chimera(), fd);
+    EXPECT_TRUE(r2.ok());
+    // Duplicate registration is idempotent.
+    auto r3 = co_await h.registry().register_node(h.node(0).chimera(), fd);
+    EXPECT_TRUE(r3.ok());
+
+    auto nodes = co_await h.registry().lookup(h.node(1).chimera(), fd);
+    EXPECT_TRUE(nodes.ok());
+    if (nodes.ok()) {
+      EXPECT_EQ(nodes->size(), 2u);
+    }
+  }(hc));
+}
+
+TEST(Registry, DeregisterRemovesNode) {
+  vstore::HomeCloudConfig cfg;
+  cfg.netbooks = 3;
+  vstore::HomeCloud hc{cfg};
+  hc.bootstrap();
+  auto fdet = face_detect_profile();
+  hc.registry().add_profile(fdet);
+  hc.run([](vstore::HomeCloud& h) -> Task<> {
+    const auto fd = *h.registry().profile("face-detect", 1);
+    (void)co_await h.registry().register_node(h.node(0).chimera(), fd);
+    (void)co_await h.registry().register_node(h.node(1).chimera(), fd);
+    (void)co_await h.registry().deregister_node(h.node(0).chimera(), fd);
+    auto nodes = co_await h.registry().lookup(h.node(2).chimera(), fd);
+    EXPECT_TRUE(nodes.ok());
+    if (nodes.ok()) {
+      EXPECT_EQ(nodes->size(), 1u);
+      EXPECT_EQ(nodes->front(), h.node(1).chimera().id());
+    }
+  }(hc));
+}
+
+TEST(Registry, LookupUnregisteredServiceFails) {
+  vstore::HomeCloudConfig cfg;
+  cfg.netbooks = 2;
+  vstore::HomeCloud hc{cfg};
+  hc.bootstrap();
+  hc.run([](vstore::HomeCloud& h) -> Task<> {
+    auto nodes = co_await h.registry().lookup(h.node(0).chimera(), face_detect_profile());
+    EXPECT_FALSE(nodes.ok());
+  }(hc));
+}
+
+}  // namespace
+}  // namespace c4h::services

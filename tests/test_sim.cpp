@@ -1,0 +1,273 @@
+// Discrete-event engine: ordering, determinism, cancellation, coroutine
+// tasks, events, channels, when_all.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/sim/simulation.hpp"
+#include "src/sim/sync.hpp"
+
+namespace c4h::sim {
+namespace {
+
+TEST(Simulation, EventsRunInTimeOrder) {
+  Simulation sim;
+  std::vector<int> order;
+  sim.schedule(milliseconds(30), [&] { order.push_back(3); });
+  sim.schedule(milliseconds(10), [&] { order.push_back(1); });
+  sim.schedule(milliseconds(20), [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), milliseconds(30));
+}
+
+TEST(Simulation, EqualTimestampsAreFifo) {
+  Simulation sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.schedule(milliseconds(5), [&order, i] { order.push_back(i); });
+  }
+  sim.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Simulation, CancelPreventsExecution) {
+  Simulation sim;
+  bool ran = false;
+  const EventId ev = sim.schedule(milliseconds(10), [&] { ran = true; });
+  EXPECT_TRUE(sim.pending(ev));
+  sim.cancel(ev);
+  EXPECT_FALSE(sim.pending(ev));
+  sim.run();
+  EXPECT_FALSE(ran);
+}
+
+TEST(Simulation, RunUntilAdvancesClockExactly) {
+  Simulation sim;
+  int count = 0;
+  sim.schedule(milliseconds(10), [&] { ++count; });
+  sim.schedule(milliseconds(50), [&] { ++count; });
+  sim.run_until(milliseconds(20));
+  EXPECT_EQ(count, 1);
+  EXPECT_EQ(sim.now(), milliseconds(20));
+  sim.run();
+  EXPECT_EQ(count, 2);
+}
+
+TEST(Simulation, NestedSchedulingFromCallback) {
+  Simulation sim;
+  TimePoint second_ran{};
+  sim.schedule(milliseconds(10), [&] {
+    sim.schedule(milliseconds(5), [&] { second_ran = sim.now(); });
+  });
+  sim.run();
+  EXPECT_EQ(second_ran, milliseconds(15));
+}
+
+Task<> simple_process(Simulation& sim, std::vector<std::string>& log) {
+  log.push_back("start@" + std::to_string(sim.now().count()));
+  co_await sim.delay(milliseconds(10));
+  log.push_back("mid@" + std::to_string(sim.now().count()));
+  co_await sim.delay(milliseconds(5));
+  log.push_back("end@" + std::to_string(sim.now().count()));
+}
+
+TEST(Coroutine, DelaysAdvanceSimulatedTime) {
+  Simulation sim;
+  std::vector<std::string> log;
+  sim.spawn(simple_process(sim, log));
+  sim.run();
+  ASSERT_EQ(log.size(), 3u);
+  EXPECT_EQ(log[0], "start@0");
+  EXPECT_EQ(log[1], "mid@" + std::to_string(milliseconds(10).count()));
+  EXPECT_EQ(log[2], "end@" + std::to_string(milliseconds(15).count()));
+}
+
+Task<int> child_returning(Simulation& sim) {
+  co_await sim.delay(milliseconds(1));
+  co_return 42;
+}
+
+Task<> parent_awaits_child(Simulation& sim, int& out) {
+  out = co_await child_returning(sim);
+}
+
+TEST(Coroutine, AwaitedChildReturnsValue) {
+  Simulation sim;
+  int out = 0;
+  sim.spawn(parent_awaits_child(sim, out));
+  sim.run();
+  EXPECT_EQ(out, 42);
+}
+
+Task<> thrower(Simulation& sim) {
+  co_await sim.delay(milliseconds(1));
+  throw std::runtime_error("boom");
+}
+
+Task<> catcher(Simulation& sim, bool& caught) {
+  try {
+    co_await thrower(sim);
+  } catch (const std::runtime_error&) {
+    caught = true;
+  }
+}
+
+TEST(Coroutine, ExceptionPropagatesToAwaiter) {
+  Simulation sim;
+  bool caught = false;
+  sim.spawn(catcher(sim, caught));
+  sim.run();
+  EXPECT_TRUE(caught);
+}
+
+Task<> deep_chain(Simulation& sim, int depth, int& leaf_count) {
+  if (depth == 0) {
+    ++leaf_count;
+    co_return;
+  }
+  co_await deep_chain(sim, depth - 1, leaf_count);
+}
+
+TEST(Coroutine, DeepAwaitChainDoesNotOverflowStack) {
+  Simulation sim;
+  int leaves = 0;
+  sim.spawn(deep_chain(sim, 50000, leaves));
+  sim.run();
+  EXPECT_EQ(leaves, 1);
+}
+
+Task<> waiter(Event& ev, Simulation& sim, std::vector<TimePoint>& times) {
+  co_await ev.wait();
+  times.push_back(sim.now());
+}
+
+Task<> firer(Event& ev, Simulation& sim) {
+  co_await sim.delay(milliseconds(25));
+  ev.fire();
+}
+
+TEST(Event, BroadcastWakesAllWaitersAtFireTime) {
+  Simulation sim;
+  Event ev{sim};
+  std::vector<TimePoint> times;
+  sim.spawn(waiter(ev, sim, times));
+  sim.spawn(waiter(ev, sim, times));
+  sim.spawn(firer(ev, sim));
+  sim.run();
+  ASSERT_EQ(times.size(), 2u);
+  EXPECT_EQ(times[0], milliseconds(25));
+  EXPECT_EQ(times[1], milliseconds(25));
+}
+
+TEST(Event, WaitAfterFireIsImmediate) {
+  Simulation sim;
+  Event ev{sim};
+  ev.fire();
+  std::vector<TimePoint> times;
+  sim.spawn(waiter(ev, sim, times));
+  sim.run();
+  ASSERT_EQ(times.size(), 1u);
+  EXPECT_EQ(times[0], TimePoint{0});
+}
+
+Task<> producer(Channel<int>& ch, Simulation& sim, int n) {
+  for (int i = 0; i < n; ++i) {
+    co_await sim.delay(milliseconds(10));
+    ch.push(i);
+  }
+}
+
+Task<> consumer(Channel<int>& ch, std::vector<int>& got, int n) {
+  for (int i = 0; i < n; ++i) {
+    got.push_back(co_await ch.pop());
+  }
+}
+
+TEST(Channel, FifoDelivery) {
+  Simulation sim;
+  Channel<int> ch{sim};
+  std::vector<int> got;
+  sim.spawn(consumer(ch, got, 5));
+  sim.spawn(producer(ch, sim, 5));
+  sim.run();
+  EXPECT_EQ(got, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Channel, PopBeforePushSuspends) {
+  Simulation sim;
+  Channel<std::string> ch{sim};
+  std::string got;
+  sim.spawn([](Channel<std::string>& c, std::string& out) -> Task<> {
+    out = co_await c.pop();
+  }(ch, got));
+  sim.run_until(milliseconds(5));
+  EXPECT_TRUE(got.empty());
+  ch.push("late");
+  sim.run();
+  EXPECT_EQ(got, "late");
+}
+
+Task<> sleep_for(Simulation& sim, Duration d, int& done) {
+  co_await sim.delay(d);
+  ++done;
+}
+
+TEST(WhenAll, CompletesAtSlowestTask) {
+  Simulation sim;
+  int done = 0;
+  TimePoint all_done{};
+  sim.spawn([](Simulation& s, int& d, TimePoint& t) -> Task<> {
+    std::vector<Task<>> tasks;
+    tasks.push_back(sleep_for(s, milliseconds(10), d));
+    tasks.push_back(sleep_for(s, milliseconds(30), d));
+    tasks.push_back(sleep_for(s, milliseconds(20), d));
+    co_await when_all(s, std::move(tasks));
+    t = s.now();
+  }(sim, done, all_done));
+  sim.run();
+  EXPECT_EQ(done, 3);
+  EXPECT_EQ(all_done, milliseconds(30));
+}
+
+TEST(WhenAll, EmptyVectorCompletesImmediately) {
+  Simulation sim;
+  bool finished = false;
+  sim.spawn([](Simulation& s, bool& f) -> Task<> {
+    co_await when_all(s, {});
+    f = true;
+  }(sim, finished));
+  sim.run();
+  EXPECT_TRUE(finished);
+}
+
+TEST(Simulation, DestructorCleansUpSuspendedDetachedTasks) {
+  // A detached task parked on an event that never fires must not leak; the
+  // Simulation destructor destroys its frame (checked under ASan builds;
+  // here we just verify no crash).
+  auto sim = std::make_unique<Simulation>();
+  Event ev{*sim};
+  sim->spawn([](Event& e) -> Task<> { co_await e.wait(); }(ev));
+  sim->run();
+  sim.reset();
+  SUCCEED();
+}
+
+TEST(Simulation, DeterministicAcrossRuns) {
+  auto run_once = [] {
+    Simulation sim{123};
+    std::vector<std::int64_t> trace;
+    for (int i = 0; i < 100; ++i) {
+      sim.schedule(milliseconds(static_cast<std::int64_t>(sim.rng().below(50))), [&trace, &sim] {
+        trace.push_back(sim.now().count());
+      });
+    }
+    sim.run();
+    return trace;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+}  // namespace
+}  // namespace c4h::sim

@@ -1,0 +1,129 @@
+// eDonkey-style workload generator: statistical properties of the modified
+// dataset (§V-A).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/trace/edonkey.hpp"
+
+namespace c4h::trace {
+namespace {
+
+TEST(Trace, GeneratesRequestedCounts) {
+  TraceConfig cfg;
+  cfg.file_count = 1300;
+  cfg.op_count = 2000;
+  const auto w = generate(cfg);
+  EXPECT_EQ(w.files.size(), 1300u);
+  EXPECT_EQ(w.ops.size(), 2000u);
+}
+
+TEST(Trace, StoreFetchMixNearConfigured) {
+  TraceConfig cfg;
+  cfg.op_count = 5000;
+  cfg.store_fraction = 0.6;
+  const auto w = generate(cfg);
+  const double stores = static_cast<double>(w.count(OpKind::store));
+  EXPECT_NEAR(stores / static_cast<double>(w.ops.size()), 0.6, 0.05);
+}
+
+TEST(Trace, FetchNeverPrecedesStore) {
+  TraceConfig cfg;
+  cfg.op_count = 3000;
+  const auto w = generate(cfg);
+  std::set<std::size_t> stored;
+  for (const auto& op : w.ops) {
+    if (op.kind == OpKind::store) {
+      stored.insert(op.file);
+    } else {
+      EXPECT_TRUE(stored.contains(op.file)) << "fetch of never-stored file";
+    }
+  }
+}
+
+TEST(Trace, ClientsSpreadAcrossConfiguredCount) {
+  TraceConfig cfg;
+  cfg.clients = 6;
+  cfg.op_count = 3000;
+  const auto w = generate(cfg);
+  std::set<int> clients;
+  for (const auto& op : w.ops) {
+    EXPECT_GE(op.client, 0);
+    EXPECT_LT(op.client, 6);
+    clients.insert(op.client);
+  }
+  EXPECT_EQ(clients.size(), 6u);
+}
+
+TEST(Trace, SizesRespectBuckets) {
+  const auto w = generate({});
+  for (const auto& f : w.files) {
+    EXPECT_GE(f.size, 1_MB);
+    EXPECT_LE(f.size, 100_MB);
+  }
+}
+
+TEST(Trace, FixedRangeRestrictsSizes) {
+  TraceConfig cfg;
+  cfg.fixed_range = BucketRange{10_MB, 25_MB};  // §V-B's "optimal" sizes
+  const auto w = generate(cfg);
+  for (const auto& f : w.files) {
+    EXPECT_GE(f.size, 10_MB);
+    EXPECT_LE(f.size, 25_MB);
+  }
+}
+
+TEST(Trace, Mp3FractionNearConfigured) {
+  TraceConfig cfg;
+  cfg.file_count = 4000;
+  cfg.p_mp3 = 0.4;
+  const auto w = generate(cfg);
+  int mp3 = 0;
+  for (const auto& f : w.files) mp3 += f.is_private();
+  EXPECT_NEAR(static_cast<double>(mp3) / 4000.0, 0.4, 0.04);
+}
+
+TEST(Trace, DeterministicForSeed) {
+  TraceConfig cfg;
+  cfg.seed = 99;
+  const auto a = generate(cfg);
+  const auto b = generate(cfg);
+  ASSERT_EQ(a.files.size(), b.files.size());
+  for (std::size_t i = 0; i < a.files.size(); ++i) {
+    EXPECT_EQ(a.files[i].size, b.files[i].size);
+    EXPECT_EQ(a.files[i].name, b.files[i].name);
+  }
+  ASSERT_EQ(a.ops.size(), b.ops.size());
+  for (std::size_t i = 0; i < a.ops.size(); ++i) {
+    EXPECT_EQ(a.ops[i].file, b.ops[i].file);
+    EXPECT_EQ(static_cast<int>(a.ops[i].kind), static_cast<int>(b.ops[i].kind));
+  }
+}
+
+TEST(Trace, RepeatAccessesAreSkewed) {
+  TraceConfig cfg;
+  cfg.file_count = 200;
+  cfg.op_count = 8000;
+  cfg.store_fraction = 0.1;  // mostly fetches → many repeats
+  cfg.zipf_s = 1.0;
+  const auto w = generate(cfg);
+  std::vector<int> hits(cfg.file_count, 0);
+  for (const auto& op : w.ops) {
+    if (op.kind == OpKind::fetch) ++hits[op.file];
+  }
+  // Head files should see far more traffic than tail files.
+  int head = 0, tail = 0;
+  for (std::size_t i = 0; i < 10; ++i) head += hits[i];
+  for (std::size_t i = 100; i < 110; ++i) tail += hits[i];
+  EXPECT_GT(head, tail * 3);
+}
+
+TEST(Trace, BucketClassification) {
+  EXPECT_EQ(bucket_of(5_MB), SizeBucket::small);
+  EXPECT_EQ(bucket_of(15_MB), SizeBucket::medium);
+  EXPECT_EQ(bucket_of(30_MB), SizeBucket::large);
+  EXPECT_EQ(bucket_of(80_MB), SizeBucket::super_large);
+}
+
+}  // namespace
+}  // namespace c4h::trace
