@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_home_vs_remote.dir/bench/fig4_home_vs_remote.cpp.o"
+  "CMakeFiles/fig4_home_vs_remote.dir/bench/fig4_home_vs_remote.cpp.o.d"
+  "bench/fig4_home_vs_remote"
+  "bench/fig4_home_vs_remote.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_home_vs_remote.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_optimal_object_size.dir/bench/fig5_optimal_object_size.cpp.o"
+  "CMakeFiles/fig5_optimal_object_size.dir/bench/fig5_optimal_object_size.cpp.o.d"
+  "bench/fig5_optimal_object_size"
+  "bench/fig5_optimal_object_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_optimal_object_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

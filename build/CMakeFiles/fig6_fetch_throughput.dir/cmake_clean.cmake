@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_fetch_throughput.dir/bench/fig6_fetch_throughput.cpp.o"
+  "CMakeFiles/fig6_fetch_throughput.dir/bench/fig6_fetch_throughput.cpp.o.d"
+  "bench/fig6_fetch_throughput"
+  "bench/fig6_fetch_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_fetch_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

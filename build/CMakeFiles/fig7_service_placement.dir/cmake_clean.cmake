@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_service_placement.dir/bench/fig7_service_placement.cpp.o"
+  "CMakeFiles/fig7_service_placement.dir/bench/fig7_service_placement.cpp.o.d"
+  "bench/fig7_service_placement"
+  "bench/fig7_service_placement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_service_placement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_dynamic_routing.dir/bench/fig8_dynamic_routing.cpp.o"
+  "CMakeFiles/fig8_dynamic_routing.dir/bench/fig8_dynamic_routing.cpp.o.d"
+  "bench/fig8_dynamic_routing"
+  "bench/fig8_dynamic_routing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_dynamic_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/split_processing.dir/bench/split_processing.cpp.o"
+  "CMakeFiles/split_processing.dir/bench/split_processing.cpp.o.d"
+  "bench/split_processing"
+  "bench/split_processing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/split_processing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

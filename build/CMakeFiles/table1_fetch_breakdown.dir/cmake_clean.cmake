@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_fetch_breakdown.dir/bench/table1_fetch_breakdown.cpp.o"
+  "CMakeFiles/table1_fetch_breakdown.dir/bench/table1_fetch_breakdown.cpp.o.d"
+  "bench/table1_fetch_breakdown"
+  "bench/table1_fetch_breakdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_fetch_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/home_surveillance.dir/home_surveillance.cpp.o"
+  "CMakeFiles/home_surveillance.dir/home_surveillance.cpp.o.d"
+  "home_surveillance"
+  "home_surveillance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/home_surveillance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

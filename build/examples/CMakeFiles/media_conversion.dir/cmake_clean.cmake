@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/media_conversion.dir/media_conversion.cpp.o"
+  "CMakeFiles/media_conversion.dir/media_conversion.cpp.o.d"
+  "media_conversion"
+  "media_conversion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/media_conversion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/neighborhood_security.dir/neighborhood_security.cpp.o"
+  "CMakeFiles/neighborhood_security.dir/neighborhood_security.cpp.o.d"
+  "neighborhood_security"
+  "neighborhood_security.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/neighborhood_security.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

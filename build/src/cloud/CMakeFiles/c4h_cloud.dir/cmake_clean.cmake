@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/c4h_cloud.dir/cloud.cpp.o"
+  "CMakeFiles/c4h_cloud.dir/cloud.cpp.o.d"
+  "libc4h_cloud.a"
+  "libc4h_cloud.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/c4h_cloud.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/c4h_common.dir/log.cpp.o"
+  "CMakeFiles/c4h_common.dir/log.cpp.o.d"
+  "CMakeFiles/c4h_common.dir/serial.cpp.o"
+  "CMakeFiles/c4h_common.dir/serial.cpp.o.d"
+  "CMakeFiles/c4h_common.dir/sha1.cpp.o"
+  "CMakeFiles/c4h_common.dir/sha1.cpp.o.d"
+  "libc4h_common.a"
+  "libc4h_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/c4h_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/c4h_federation.dir/federation.cpp.o"
+  "CMakeFiles/c4h_federation.dir/federation.cpp.o.d"
+  "libc4h_federation.a"
+  "libc4h_federation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/c4h_federation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/c4h_kv.dir/kvstore.cpp.o"
+  "CMakeFiles/c4h_kv.dir/kvstore.cpp.o.d"
+  "libc4h_kv.a"
+  "libc4h_kv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/c4h_kv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/c4h_mon.dir/monitor.cpp.o"
+  "CMakeFiles/c4h_mon.dir/monitor.cpp.o.d"
+  "libc4h_mon.a"
+  "libc4h_mon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/c4h_mon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

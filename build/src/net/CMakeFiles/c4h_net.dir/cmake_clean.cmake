@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/c4h_net.dir/network.cpp.o"
+  "CMakeFiles/c4h_net.dir/network.cpp.o.d"
+  "libc4h_net.a"
+  "libc4h_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/c4h_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/c4h_overlay.dir/overlay.cpp.o"
+  "CMakeFiles/c4h_overlay.dir/overlay.cpp.o.d"
+  "libc4h_overlay.a"
+  "libc4h_overlay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/c4h_overlay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/c4h_services.dir/service.cpp.o"
+  "CMakeFiles/c4h_services.dir/service.cpp.o.d"
+  "libc4h_services.a"
+  "libc4h_services.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/c4h_services.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/c4h_trace.dir/edonkey.cpp.o"
+  "CMakeFiles/c4h_trace.dir/edonkey.cpp.o.d"
+  "libc4h_trace.a"
+  "libc4h_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/c4h_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/c4h_vmm.dir/machine.cpp.o"
+  "CMakeFiles/c4h_vmm.dir/machine.cpp.o.d"
+  "libc4h_vmm.a"
+  "libc4h_vmm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/c4h_vmm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/c4h_vstore.dir/home_cloud.cpp.o"
+  "CMakeFiles/c4h_vstore.dir/home_cloud.cpp.o.d"
+  "CMakeFiles/c4h_vstore.dir/vstore.cpp.o"
+  "CMakeFiles/c4h_vstore.dir/vstore.cpp.o.d"
+  "libc4h_vstore.a"
+  "libc4h_vstore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/c4h_vstore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

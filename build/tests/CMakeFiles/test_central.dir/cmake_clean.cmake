@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_central.dir/test_central.cpp.o"
+  "CMakeFiles/test_central.dir/test_central.cpp.o.d"
+  "test_central"
+  "test_central.pdb"
+  "test_central[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_central.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_mon.cpp" "tests/CMakeFiles/test_mon.dir/test_mon.cpp.o" "gcc" "tests/CMakeFiles/test_mon.dir/test_mon.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mon/CMakeFiles/c4h_mon.dir/DependInfo.cmake"
+  "/root/repo/build/src/kv/CMakeFiles/c4h_kv.dir/DependInfo.cmake"
+  "/root/repo/build/src/overlay/CMakeFiles/c4h_overlay.dir/DependInfo.cmake"
+  "/root/repo/build/src/vmm/CMakeFiles/c4h_vmm.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/c4h_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/c4h_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_object_fs.dir/test_object_fs.cpp.o"
+  "CMakeFiles/test_object_fs.dir/test_object_fs.cpp.o.d"
+  "test_object_fs"
+  "test_object_fs.pdb"
+  "test_object_fs[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_object_fs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

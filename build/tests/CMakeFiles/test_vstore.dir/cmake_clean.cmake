@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vstore.dir/test_vstore.cpp.o"
+  "CMakeFiles/test_vstore.dir/test_vstore.cpp.o.d"
+  "test_vstore"
+  "test_vstore.pdb"
+  "test_vstore[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vstore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
