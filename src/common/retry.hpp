@@ -1,0 +1,45 @@
+// Bounded retry with exponential backoff and jitter.
+//
+// The hardened operation paths (KV store, VStore++) retry transient
+// failures — lost request messages, owners that crashed mid-operation,
+// routes that momentarily have no live next hop — with exponentially
+// growing, jittered pauses, and give up after a bounded number of
+// attempts. Jitter is drawn from a caller-supplied Rng so retry timing is
+// deterministic for a given simulation seed.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/result.hpp"
+#include "src/common/rng.hpp"
+#include "src/common/units.hpp"
+
+namespace c4h {
+
+struct RetryPolicy {
+  int max_attempts = 4;              // total tries, including the first
+  Duration base = milliseconds(50);  // nominal pause before the 2nd try
+  Duration cap = seconds(2);         // backoff ceiling
+  double multiplier = 2.0;           // growth per retry
+  double jitter = 0.2;               // uniform ± fraction around the nominal
+
+  /// Failures worth retrying: transient routing / availability / timeout
+  /// conditions (and injected IO hiccups). Semantic failures — not_found,
+  /// already_exists, permission_denied — must surface unchanged.
+  static constexpr bool transient(Errc c) {
+    return c == Errc::timeout || c == Errc::unavailable || c == Errc::no_route ||
+           c == Errc::io_error;
+  }
+
+  /// Pause before retry number `retry` (1-based): base·multiplier^(retry−1),
+  /// capped, with ±jitter noise drawn from `rng`.
+  Duration backoff(int retry, Rng& rng) const {
+    double s = to_seconds(base) * std::pow(multiplier, std::max(0, retry - 1));
+    s = std::min(s, to_seconds(cap));
+    if (jitter > 0) s *= rng.uniform(1.0 - jitter, 1.0 + jitter);
+    return from_seconds(std::max(s, 0.0));
+  }
+};
+
+}  // namespace c4h

@@ -11,8 +11,14 @@
 //  * entries are cached on the intermediate hops of each request's path
 //    through the overlay, and every modification propagates to the caches;
 //  * entries are replicated with a fixed replication factor (ring
-//    successors of the owner), restored when nodes fail;
-//  * a departing node's keys are redistributed among the remaining nodes.
+//    successors of the owner), restored when nodes fail, leave, or rejoin;
+//  * a departing node's keys are redistributed among the remaining nodes,
+//    and a joining (or restarting) node pulls the keys in its arc.
+//
+// Hardened for the fault-injection layer (sim/fault.hpp): every public
+// operation owns a per-attempt timeout — request messages are sent
+// unreliably, a drop surfaces as Errc::timeout — and retries transient
+// failures with exponential backoff + jitter, bounded by KvConfig::retry.
 #pragma once
 
 #include <set>
@@ -20,6 +26,7 @@
 #include <vector>
 
 #include "src/common/result.hpp"
+#include "src/common/retry.hpp"
 #include "src/common/serial.hpp"
 #include "src/overlay/overlay.hpp"
 
@@ -39,6 +46,14 @@ struct KvConfig {
   // VStore++ talks to the Chimera process over IPC (§IV); paid on entry and
   // on reply for every KV operation issued by a node.
   Duration chimera_ipc = milliseconds(2);
+  // Per-operation retry/backoff for transient failures (lost requests,
+  // owners that die mid-operation, repair windows).
+  RetryPolicy retry;
+  // When set, put acknowledges only after the replicas are written, so an
+  // acknowledged write survives the immediate crash of its owner. Off by
+  // default (the paper replicates off the critical path); chaos tests that
+  // assert zero acknowledged loss turn it on.
+  bool ack_replication = false;
 };
 
 struct KvStats {
@@ -50,6 +65,9 @@ struct KvStats {
   std::uint64_t cache_updates = 0;    // messages refreshing caches on put
   std::uint64_t replication_msgs = 0;
   std::uint64_t redistribution_msgs = 0;
+  std::uint64_t op_retries = 0;       // attempts beyond the first
+  std::uint64_t op_failures = 0;      // operations that exhausted retries
+  std::uint64_t send_timeouts = 0;    // request/reply messages lost in flight
 };
 
 /// The distributed key-value store. One instance manages the per-node tables
@@ -61,7 +79,9 @@ class KvStore {
 
   /// Stores `value` under `key`, routed from `origin`. Blocking semantics:
   /// completes after the owner's acknowledgement (the paper's blocking store
-  /// pays exactly this extra ack).
+  /// pays exactly this extra ack). Transient failures are retried with
+  /// backoff; a lost request is detected by the sender's timeout and is safe
+  /// to resend (the value was never applied).
   sim::Task<Result<void>> put(overlay::ChimeraNode& origin, Key key, Buffer value,
                               OverwritePolicy policy = OverwritePolicy::overwrite);
 
@@ -87,27 +107,57 @@ class KvStore {
   bool has_cache(Key node, Key key) const;
   bool has_replica(Key node, Key key) const;
 
+  /// Number of authoritative entries whose live, present replica copies fall
+  /// short of the configured factor (bounded by live membership). Zero once
+  /// churn has settled and repair/re-replication have run — the invariant
+  /// the chaos suite asserts.
+  std::size_t under_replicated();
+
  private:
   struct Entry {
     std::vector<Buffer> versions;
+    // Mutation counter, copied into every replica. When a failed owner's key
+    // survives only in replicas, repair promotes the copy with the highest
+    // seq — an owner that crashed mid-replication may leave copies of
+    // different ages behind, and an acknowledged write must never lose to an
+    // older copy.
+    std::uint64_t seq = 0;
     std::set<Key> cached_at;    // nodes holding path-cache copies
     std::set<Key> replica_at;   // nodes holding replicas
   };
 
+  struct ReplicaCopy {
+    std::vector<Buffer> versions;
+    std::uint64_t seq = 0;
+  };
+
   struct NodeStore {
     std::unordered_map<Key, Entry> primary;
-    std::unordered_map<Key, std::vector<Buffer>> replica;
+    std::unordered_map<Key, ReplicaCopy> replica;
     std::unordered_map<Key, std::vector<Buffer>> cache;
   };
 
+  sim::Task<Result<void>> put_attempt(overlay::ChimeraNode& origin, Key key,
+                                      const Buffer& value, OverwritePolicy policy);
+  sim::Task<Result<std::vector<Buffer>>> get_routed(overlay::ChimeraNode& origin, Key key);
+  sim::Task<Result<void>> erase_attempt(overlay::ChimeraNode& origin, Key key);
   sim::Task<> replicate(overlay::ChimeraNode& owner, Key key);
   sim::Task<> refresh_caches(overlay::ChimeraNode& owner, Key key);
   sim::Task<> redistribute_on_leave(overlay::ChimeraNode& leaver);
+  sim::Task<> redistribute_on_join(overlay::ChimeraNode& joiner);
   sim::Task<> repair_after_failure(Key dead);
+  /// Re-replicates every entry below the expected factor (after churn).
+  void restore_replication();
+  /// Erases the replica copies registered in `entry` (stale after an
+  /// ownership move) and clears the set.
+  void drop_replicas(Key key, Entry& entry);
+  int expected_replicas();
+  int live_replica_count(Key key, const Entry& entry) const;
   Bytes value_bytes(const std::vector<Buffer>& versions) const;
 
   overlay::Overlay& overlay_;
   KvConfig config_;
+  Rng rng_;  // backoff jitter; forked from the simulation seed
   std::unordered_map<Key, NodeStore> stores_;  // per overlay node
   KvStats stats_;
 };

@@ -73,9 +73,12 @@ sim::Task<> ResourceMonitor::publish_once() {
 
 sim::Task<> ResourceMonitor::loop() {
   auto& sim = kv_.overlay().simulation();
+  // One loop per node incarnation: after a crash+restart the loop started for
+  // the new life takes over and this one retires at its next tick.
+  const std::uint64_t inc = node_.incarnation();
   for (;;) {
     co_await sim.delay(config_.period);
-    if (!node_.online()) co_return;
+    if (!node_.online() || node_.incarnation() != inc) co_return;
     co_await publish_once();
   }
 }

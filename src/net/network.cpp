@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "src/sim/fault.hpp"
+
 namespace c4h::net {
 
 namespace {
@@ -50,8 +52,31 @@ sim::Task<> Network::transfer_striped(NetNodeId src, NetNodeId dst, Bytes size,
 }
 
 sim::Task<> Network::send_message(NetNodeId src, NetNodeId dst, Bytes size) {
+  // (await in a declaration, not the loop condition: GCC 12 miscompiles
+  // co_await of a temporary task inside a loop condition)
+  for (;;) {
+    const bool delivered = co_await try_send_message(src, dst, size);
+    if (delivered) co_return;
+    ++stats_.retransmits;
+  }
+}
+
+sim::Task<bool> Network::try_send_message(NetNodeId src, NetNodeId dst, Bytes size) {
   ++stats_.messages_sent;
-  co_await sim_.delay(sample_message_latency(src, dst, size));
+  Duration lat = sample_message_latency(src, dst, size);
+  if (sim::FaultPlan* fp = sim_.fault(); fp != nullptr && src != dst) {
+    const sim::MessageFault f = fp->message_fault();
+    if (f.drop) {
+      // The message dies in flight; the sender only learns from its
+      // retransmit timer.
+      co_await sim_.delay(fp->spec().loss_detection);
+      co_return false;
+    }
+    if (f.duplicate) ++stats_.messages_sent;  // the copy costs traffic only
+    lat += f.extra_delay;
+  }
+  co_await sim_.delay(lat);
+  co_return true;
 }
 
 Duration Network::sample_message_latency(NetNodeId src, NetNodeId dst, Bytes size) {

@@ -30,6 +30,7 @@ struct NetworkStats {
   std::uint64_t flows_started = 0;
   std::uint64_t flows_completed = 0;
   std::uint64_t messages_sent = 0;
+  std::uint64_t retransmits = 0;  // reliable-path resends after injected drops
   double bytes_delivered = 0;
 };
 
@@ -56,8 +57,16 @@ class Network {
                                int streams);
 
   /// Sends a small control message: path latency (with jitter) plus a fixed
-  /// per-hop processing cost; no bandwidth is booked.
+  /// per-hop processing cost; no bandwidth is booked. Reliable: when a fault
+  /// plan drops the message, the sender retransmits (paying the loss-
+  /// detection timeout each time) until it gets through.
   sim::Task<> send_message(NetNodeId src, NetNodeId dst, Bytes size = 50);
+
+  /// Unreliable variant: one send attempt. Returns false if the fault layer
+  /// dropped the message — the caller resumes only after its loss-detection
+  /// timeout has elapsed, and owns the retry/backoff decision. The hardened
+  /// KV/VStore paths use this to drive their own per-operation timeouts.
+  sim::Task<bool> try_send_message(NetNodeId src, NetNodeId dst, Bytes size = 50);
 
   /// One-way message latency sample (used by send_message).
   Duration sample_message_latency(NetNodeId src, NetNodeId dst, Bytes size);

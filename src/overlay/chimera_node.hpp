@@ -44,8 +44,29 @@ class ChimeraNode {
   bool online() const { return host_->online(); }
   net::NetNodeId net_node() const { return host_->net_node(); }
 
+  /// True once the node has joined the overlay ring and until it gracefully
+  /// leaves. A created-but-unjoined node (or one that left) is an island:
+  /// its host may be online, but it owns no part of the keyspace and must
+  /// not be counted as a member. Crashes leave the flag set — a crashed
+  /// member is still a member until failure detection removes it, and
+  /// `online()` already excludes it from ownership.
+  bool in_ring() const { return in_ring_; }
+  void set_in_ring(bool v) { in_ring_ = v; }
+
   std::size_t peer_count() const { return peers_.size(); }
   bool knows(Key k) const { return peers_.contains(k); }
+
+  /// Crash/restart generation counter. Bumped by Overlay::crash so stale
+  /// per-incarnation processes (stabilization loops) can notice they belong
+  /// to a previous life of the node and exit.
+  std::uint64_t incarnation() const { return incarnation_; }
+  void bump_incarnation() { ++incarnation_; }
+
+  /// Drops all routing state (peers, routing table, leaf set). A restarting
+  /// node rejoins the overlay from scratch.
+  void forget_all_peers() {
+    for (const Key k : known_peers()) remove_peer(k);
+  }
 
   void add_peer(Key k, PeerInfo info) {
     if (k == id_) return;
@@ -181,6 +202,8 @@ class ChimeraNode {
   Key id_;
   std::string name_;
   vmm::Host* host_;
+  std::uint64_t incarnation_ = 0;
+  bool in_ring_ = false;
   Tree peers_;
   std::array<std::array<std::optional<Key>, 16>, Key::kDigits> rtable_;
 };

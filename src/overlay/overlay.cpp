@@ -21,10 +21,13 @@ ChimeraNode& Overlay::create_node(const std::string& name, vmm::Host& host) {
 sim::Task<Result<void>> Overlay::join(ChimeraNode& node, ChimeraNode* bootstrap) {
   if (bootstrap == nullptr) {
     node.host().set_online(true);
+    node.set_in_ring(true);
+    if (join_hook_) co_await join_hook_(node);
     co_return Result<void>{};
   }
   if (!bootstrap->online()) co_return Error{Errc::unavailable, "bootstrap offline"};
   node.host().set_online(true);
+  node.set_in_ring(true);
 
   // Route a join request from the bootstrap toward the joiner's id, copying
   // state from each node on the path (Pastry-style: hop i contributes the
@@ -56,8 +59,15 @@ sim::Task<Result<void>> Overlay::join(ChimeraNode& node, ChimeraNode* bootstrap)
   }
 
   co_await announce(node);
+  if (join_hook_) co_await join_hook_(node);
   if (stabilizing_) sim_.spawn(stabilize_loop(node));
   co_return Result<void>{};
+}
+
+sim::Task<Result<void>> Overlay::restart(ChimeraNode& node, ChimeraNode* bootstrap) {
+  node.forget_all_peers();
+  ++stats_.restarts;
+  co_return co_await join(node, bootstrap);
 }
 
 sim::Task<> Overlay::announce(ChimeraNode& joiner) {
@@ -84,6 +94,7 @@ sim::Task<> Overlay::leave(ChimeraNode& node) {
     p->remove_peer(node.id());
   }
   node.host().set_online(false);
+  node.set_in_ring(false);
 }
 
 sim::Task<Result<RouteResult>> Overlay::route(ChimeraNode& origin, Key target,
@@ -132,9 +143,12 @@ void Overlay::start_stabilization() {
 }
 
 sim::Task<> Overlay::stabilize_loop(ChimeraNode& node) {
+  // One loop per incarnation: after a crash the node's incarnation bumps,
+  // this loop retires at its next tick, and the rejoin spawns a fresh one.
+  const std::uint64_t inc = node.incarnation();
   for (;;) {
     co_await sim_.delay(config_.stabilize_period);
-    if (!node.online()) co_return;
+    if (!node.online() || node.incarnation() != inc) co_return;
 
     // Heartbeat the left/right ring neighbours.
     for (const auto neighbor : {node.right_neighbor(), node.left_neighbor()}) {
@@ -149,6 +163,11 @@ sim::Task<> Overlay::stabilize_loop(ChimeraNode& node) {
       // reach, then let the KV layer restore replica counts.
       ++stats_.failures_detected;
       co_await sim_.delay(config_.probe_timeout);
+      // The probe took real time: the neighbour may have restarted and
+      // rejoined while we waited. Declaring a live node dead would tear its
+      // (valid, current) state out of the ring — skip; its rejoin already
+      // repaired membership.
+      if (p->online()) continue;
       const Key dead = p->id();
       remove_everywhere(dead);
       if (failure_hook_) co_await failure_hook_(dead);
@@ -171,7 +190,7 @@ void Overlay::remove_everywhere(Key dead) {
 std::vector<ChimeraNode*> Overlay::live_members() {
   std::vector<ChimeraNode*> out;
   for (auto& n : nodes_) {
-    if (n->online()) out.push_back(n.get());
+    if (n->online() && n->in_ring()) out.push_back(n.get());
   }
   return out;
 }
@@ -179,7 +198,7 @@ std::vector<ChimeraNode*> Overlay::live_members() {
 std::vector<Key> Overlay::successors_of(Key node, int r) {
   std::vector<Key> live;
   for (auto& n : nodes_) {
-    if (n->online() && n->id() != node) live.push_back(n->id());
+    if (n->online() && n->in_ring() && n->id() != node) live.push_back(n->id());
   }
   std::sort(live.begin(), live.end(), [node](Key a, Key b) {
     return node.clockwise_distance(a) < node.clockwise_distance(b);
@@ -192,7 +211,7 @@ Key Overlay::true_owner(Key key) {
   Key best{};
   std::uint64_t best_dist = UINT64_MAX;
   for (auto& n : nodes_) {
-    if (!n->online()) continue;
+    if (!n->online() || !n->in_ring()) continue;
     const auto d = n->id().ring_distance(key);
     if (d < best_dist || (d == best_dist && n->id() < best)) {
       best = n->id();

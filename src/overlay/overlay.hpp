@@ -41,6 +41,8 @@ struct OverlayStats {
   std::uint64_t join_messages = 0;
   std::uint64_t maintenance_messages = 0;
   std::uint64_t failures_detected = 0;
+  std::uint64_t crashes = 0;
+  std::uint64_t restarts = 0;
 };
 
 class Overlay {
@@ -70,8 +72,20 @@ class Overlay {
   sim::Task<> leave(ChimeraNode& node);
 
   /// Abrupt failure: the node's host goes offline with no notification.
-  /// Neighbours discover it via the stabilization heartbeat.
-  void crash(ChimeraNode& node) { node.host().set_online(false); }
+  /// Neighbours discover it via the stabilization heartbeat. The node's
+  /// incarnation is bumped so its per-life processes (stabilization loop)
+  /// retire instead of surviving into the next life.
+  void crash(ChimeraNode& node) {
+    node.host().set_online(false);
+    node.bump_incarnation();
+    ++stats_.crashes;
+  }
+
+  /// Brings a crashed node back: routing state is wiped (it rejoins from
+  /// scratch via `bootstrap`), then the join hook lets the KV layer hand
+  /// back the keys this node now owns. Its ObjectFs contents survive the
+  /// power cycle — only volatile state is lost.
+  sim::Task<Result<void>> restart(ChimeraNode& node, ChimeraNode* bootstrap);
 
   /// Routes from `origin` toward `target`; resolves the owning node.
   /// If `stop_at` is set and returns true for an intermediate node, routing
@@ -103,6 +117,13 @@ class Overlay {
     leave_hook_ = std::move(hook);
   }
 
+  /// Hook invoked after a node has joined (or re-joined) and announced
+  /// itself; lets the KV layer hand the keys in the joiner's arc over to it
+  /// ("keys are always redistributed among the available set of nodes").
+  void set_join_hook(std::function<sim::Task<>(ChimeraNode&)> hook) {
+    join_hook_ = std::move(hook);
+  }
+
   /// Hook invoked when a node is *detected* dead (crash path), after
   /// membership has been repaired; lets the KV layer restore replicas.
   void set_failure_hook(std::function<sim::Task<>(Key)> hook) {
@@ -122,6 +143,7 @@ class Overlay {
   std::vector<std::unique_ptr<ChimeraNode>> nodes_;
   std::unordered_map<Key, ChimeraNode*> nodes_by_key_;
   std::function<sim::Task<>(ChimeraNode&)> leave_hook_;
+  std::function<sim::Task<>(ChimeraNode&)> join_hook_;
   std::function<sim::Task<>(Key)> failure_hook_;
   bool stabilizing_ = false;
   OverlayStats stats_;

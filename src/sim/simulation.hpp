@@ -8,6 +8,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <queue>
 #include <unordered_map>
 #include <unordered_set>
@@ -21,6 +22,8 @@ namespace c4h::sim {
 
 using c4h::Duration;
 using c4h::TimePoint;
+
+class FaultPlan;  // sim/fault.hpp; installed via install_fault_plan()
 
 /// Handle for a scheduled callback; allows cancellation.
 struct EventId {
@@ -45,6 +48,18 @@ class Simulation {
 
   TimePoint now() const { return now_; }
   Rng& rng() { return rng_; }
+
+  /// The installed chaos layer, or nullptr when fault injection is off.
+  /// Layers consult this inline (message faults, IO faults); the plan's
+  /// decisions come from an Rng forked off the simulation seed, so a seed
+  /// fully determines the fault schedule.
+  FaultPlan* fault() { return fault_.get(); }
+  void set_fault_plan(std::shared_ptr<FaultPlan> plan) { fault_ = std::move(plan); }
+
+  /// Diagnostics for leak checks: live detached coroutine frames and
+  /// pending (uncancelled) events.
+  std::size_t detached_count() const { return detached_.size(); }
+  std::size_t pending_event_count() const { return callbacks_.size(); }
 
   /// Schedules `fn` to run `delay` after now. delay must be >= 0.
   EventId schedule(Duration delay, std::function<void()> fn) {
@@ -152,6 +167,9 @@ class Simulation {
   std::unordered_map<std::uint64_t, std::function<void()>> callbacks_;
   std::unordered_set<void*> detached_;
   Rng rng_;
+  // shared_ptr so the (forward-declared) plan can be owned here without
+  // simulation.hpp depending on fault.hpp.
+  std::shared_ptr<FaultPlan> fault_;
 };
 
 namespace detail {

@@ -1,5 +1,6 @@
 #include "src/vstore/home_cloud.hpp"
 
+#include <algorithm>
 #include <cassert>
 
 namespace c4h::vstore {
@@ -141,6 +142,61 @@ void HomeCloud::bootstrap() {
     for (auto& n : nodes_) n->monitor().start();
   }
   if (config_.start_stabilization) overlay_->start_stabilization();
+}
+
+sim::Task<> HomeCloud::restart_node(std::size_t i) {
+  VStoreNode& n = *nodes_[i];
+  if (n.online()) co_return;
+  overlay::ChimeraNode* boot = nullptr;
+  for (auto& m : nodes_) {
+    if (m.get() != &n && m->online()) {
+      boot = &m->chimera();
+      break;
+    }
+  }
+  (void)co_await overlay_->restart(n.chimera(), boot);
+  // Bring the node's background processes back for its new incarnation (the
+  // previous monitor loop retires on the incarnation bump).
+  if (config_.start_monitors) {
+    n.monitor().start();
+  } else {
+    co_await n.monitor().publish_once();
+  }
+}
+
+sim::FaultPlan& HomeCloud::enable_chaos(const sim::FaultSpec& spec) {
+  assert(finalized_ && "enable_chaos must follow bootstrap()");
+  sim::FaultPlan& plan = sim::install_fault_plan(*sim_, spec);
+
+  sim::ChurnHooks hooks;
+  hooks.victim_count = [this] { return nodes_.size(); };
+  hooks.crash = [this](std::size_t victim) {
+    VStoreNode& n = *nodes_[victim % nodes_.size()];
+    if (!n.online()) return false;
+    // Safety floor: every key has at most replication+1 live holders
+    // (owner + replicas). Refuse any crash that would take the concurrent
+    // offline count past `replication`, so at least one live copy of every
+    // acknowledged entry always remains.
+    std::size_t offline = 0;
+    for (const auto& m : nodes_) {
+      if (!m->online()) ++offline;
+    }
+    if (offline + 1 > static_cast<std::size_t>(std::max(0, config_.kv.replication))) return false;
+    overlay_->crash(n.chimera());
+    return true;
+  };
+  hooks.restart = [this](std::size_t victim) {
+    sim_->spawn(restart_node(victim % nodes_.size()));
+  };
+  hooks.uplink_down = [this](bool down) {
+    if (down) {
+      set_wan_rates(Rate{1.0}, Rate{1.0});  // effectively parked, not severed
+    } else {
+      set_wan_rates(config_.wan_up, config_.wan_down);
+    }
+  };
+  plan.start_churn(hooks);
+  return plan;
 }
 
 VStoreNode* HomeCloud::node_by_key(Key k) {

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "src/cloud/cloud.hpp"
+#include "src/common/retry.hpp"
 #include "src/federation/neighborhood.hpp"
 #include "src/kv/kvstore.hpp"
 #include "src/mon/monitor.hpp"
@@ -57,6 +58,10 @@ struct HomeCloudConfig {
   kv::KvConfig kv;
   overlay::OverlayConfig overlay;
   mon::MonitorConfig monitor;
+
+  /// Retry/backoff for the hardened VStore++ paths (fetch retries, process
+  /// waiting out an owner's restart). The KV layer's policy lives in `kv`.
+  RetryPolicy retry;
 
   bool start_monitors = true;
   bool start_stabilization = false;
@@ -152,7 +157,16 @@ class HomeCloud {
   /// processes (monitors, heartbeats) keep running but do not block return.
   void run(sim::Task<> t) { sim_->run_task(std::move(t)); }
 
+  /// Arms deterministic fault injection (sim/fault.hpp) across the whole
+  /// deployment and wires the churn hooks: node crash + restart (bounded so
+  /// no key can lose every live copy at once) and WAN uplink flaps. Must
+  /// follow bootstrap(). Returns the installed plan (owned by the
+  /// simulation) for inspection and disarming.
+  sim::FaultPlan& enable_chaos(const sim::FaultSpec& spec);
+
  private:
+  sim::Task<> restart_node(std::size_t i);
+
   friend class VStoreNode;
 
   HomeCloudConfig config_;

@@ -13,6 +13,7 @@
 
 #include "src/common/result.hpp"
 #include "src/common/units.hpp"
+#include "src/sim/fault.hpp"
 #include "src/sim/simulation.hpp"
 #include "src/sim/task.hpp"
 
@@ -36,6 +37,15 @@ class ObjectFs {
   /// Overwrites reuse the old file's space; the old file survives a failed
   /// overwrite (capacity is checked before anything is destroyed).
   sim::Task<Result<void>> write(const std::string& name, Bytes size, Bin bin) {
+    if (sim::FaultPlan* fp = sim_.fault(); fp != nullptr) {
+      // Spurious bin-full and flaky-media faults; both leave the old file
+      // (if any) untouched, like the real failure modes they model.
+      if (fp->inject_bin_full()) co_return Error{Errc::no_capacity, "bin full: " + name};
+      if (fp->inject_io_error()) {
+        co_await sim_.delay(config_.seek);
+        co_return Error{Errc::io_error, "write error: " + name};
+      }
+    }
     Bytes free = bin == Bin::mandatory ? mandatory_free() : voluntary_free();
     const auto it = files_.find(name);
     if (it != files_.end() && it->second.bin == bin) {
@@ -56,6 +66,10 @@ class ObjectFs {
   sim::Task<Result<Bytes>> read(const std::string& name) {
     const auto it = files_.find(name);
     if (it == files_.end()) co_return Error{Errc::not_found, "no file: " + name};
+    if (sim::FaultPlan* fp = sim_.fault(); fp != nullptr && fp->inject_io_error()) {
+      co_await sim_.delay(config_.seek);
+      co_return Error{Errc::io_error, "read error: " + name};
+    }
     co_await sim_.delay(config_.seek + transfer_time(it->second.size, config_.read_rate));
     co_return it->second.size;
   }

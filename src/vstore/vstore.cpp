@@ -18,7 +18,8 @@ VStoreNode::VStoreNode(HomeCloud& cloud, overlay::ChimeraNode& chimera, vmm::Dom
       chimera_(chimera),
       app_domain_(app_domain),
       fs_(cloud.sim(), fs_config),
-      xensocket_(cloud.sim(), xs_config) {
+      xensocket_(cloud.sim(), xs_config),
+      rng_(cloud.sim().rng().fork()) {
   principal_ = Principal{chimera.name(), TrustLevel::trusted};
   mon::BinWatcher watcher;
   watcher.mandatory_free = [this] { return fs_.mandatory_free(); };
@@ -75,18 +76,18 @@ sim::Task<Result<ObjectLocation>> VStoreNode::place_object(const ObjectMeta& met
     target = StoreTarget::home_any;
   }
 
-  Key chosen_home{};
-  if (target == StoreTarget::home_any) {
-    // chimeraGetDecision over the other home nodes' published records.
+  // chimeraGetDecision over the other home nodes' published records. Invoked
+  // lazily: the home_any path needs it up front, and a failed local write
+  // needs it to re-route mid-placement.
+  auto pick_home = [this, &meta, &opts]() -> sim::Task<std::optional<Key>> {
     std::vector<CandidateInfo> cands;
-    std::vector<Key> cand_keys;
     for (overlay::ChimeraNode* member : cloud_.overlay().live_members()) {
       if (member == &chimera_) continue;
       auto rec = co_await mon::fetch_record(cloud_.kv(), chimera_, member->id());
       if (!rec.ok()) continue;
       if (rec->voluntary_bin_free < meta.size) continue;
       VStoreNode* vn = cloud_.node_by_key(member->id());
-      if (vn == nullptr) continue;
+      if (vn == nullptr || !vn->online()) continue;
       CandidateInfo ci;
       ci.site = ExecSite{ExecSite::Kind::home_node, member->id()};
       ci.move_in = cloud_.estimate_move(ExecSite{ExecSite::Kind::home_node, chimera_.id()},
@@ -96,58 +97,74 @@ sim::Task<Result<ObjectLocation>> VStoreNode::place_object(const ObjectMeta& met
       ci.battery = rec->battery;
       ci.battery_powered = rec->battery_powered;
       cands.push_back(ci);
-      cand_keys.push_back(member->id());
     }
-    if (cands.empty()) {
-      target = StoreTarget::remote_cloud;
+    if (cands.empty()) co_return std::nullopt;
+    co_return cands[choose_candidate(opts.decision, cands)].site.node;
+  };
+
+  Key chosen_home{};
+  if (target == StoreTarget::home_any) {
+    const auto c = co_await pick_home();
+    if (c.has_value()) {
+      chosen_home = *c;
     } else {
-      chosen_home = cands[choose_candidate(opts.decision, cands)].site.node;
+      target = StoreTarget::remote_cloud;
     }
   }
   out.decision = sim.now() - d0;
 
   const TimePoint p0 = sim.now();
   ObjectLocation loc;
-  switch (target) {
-    case StoreTarget::local: {
-      auto w = co_await fs_.write(meta.name, meta.size, Bin::mandatory);
-      if (!w.ok()) co_return w.error();
+
+  if (target == StoreTarget::local) {
+    auto w = co_await fs_.write(meta.name, meta.size, Bin::mandatory);
+    if (w.ok()) {
       loc.kind = ObjectLocation::Kind::home_node;
       loc.node = chimera_.id();
-      break;
+      out.placement = sim.now() - p0;
+      co_return loc;
     }
-    case StoreTarget::home_any: {
-      VStoreNode* vn = cloud_.node_by_key(chosen_home);
+    // Local disk refused (full, or flaky media): re-route into the shared
+    // pool instead of failing the store.
+    ++stats_.store_reroutes;
+    const auto c = co_await pick_home();
+    if (c.has_value()) {
+      chosen_home = *c;
+      target = StoreTarget::home_any;
+    } else {
+      target = StoreTarget::remote_cloud;
+    }
+  }
+
+  if (target == StoreTarget::home_any) {
+    VStoreNode* vn = cloud_.node_by_key(chosen_home);
+    bool placed = false;
+    if (vn != nullptr && vn->online()) {
       co_await net.transfer(chimera_.net_node(), vn->chimera().net_node(), meta.size,
                             cloud_.lan_profile());
       auto w = co_await vn->fs_.write(meta.name, meta.size, Bin::voluntary);
-      if (!w.ok()) {
-        // Stale record (bin filled since the last monitor update): spill to
-        // the remote cloud rather than failing the store.
-        const std::string url = cloud::S3Store::url_for("vstore", meta.name);
-        const TimePoint u0 = sim.now();
-        auto p = co_await cloud_.s3().put(chimera_.net_node(), url, meta.size);
-        if (!p.ok()) co_return p.error();
-        cloud_.wan_estimator().observe_upload(meta.size, sim.now() - u0);
-        loc.kind = ObjectLocation::Kind::remote_cloud;
-        loc.url = url;
-        break;
-      }
+      // A write that raced the target's crash may be torn; only a write that
+      // completed on a live node counts.
+      placed = w.ok() && vn->online();
+    }
+    if (placed) {
       loc.kind = ObjectLocation::Kind::home_node;
       loc.node = chosen_home;
-      break;
+      out.placement = sim.now() - p0;
+      co_return loc;
     }
-    case StoreTarget::remote_cloud: {
-      const std::string url = cloud::S3Store::url_for("vstore", meta.name);
-      const TimePoint u0 = sim.now();
-      auto p = co_await cloud_.s3().put(chimera_.net_node(), url, meta.size);
-      if (!p.ok()) co_return p.error();
-      cloud_.wan_estimator().observe_upload(meta.size, sim.now() - u0);
-      loc.kind = ObjectLocation::Kind::remote_cloud;
-      loc.url = url;
-      break;
-    }
+    // Stale record (bin filled since the last monitor update), dead target,
+    // or flaky disk: spill to the remote cloud rather than failing the store.
+    ++stats_.store_reroutes;
   }
+
+  const std::string url = cloud::S3Store::url_for("vstore", meta.name);
+  const TimePoint u0 = sim.now();
+  auto p = co_await cloud_.s3().put(chimera_.net_node(), url, meta.size);
+  if (!p.ok()) co_return p.error();
+  cloud_.wan_estimator().observe_upload(meta.size, sim.now() - u0);
+  loc.kind = ObjectLocation::Kind::remote_cloud;
+  loc.url = url;
   out.placement = sim.now() - p0;
   co_return loc;
 }
@@ -240,13 +257,10 @@ sim::Task<Result<ObjectRecord>> VStoreNode::lookup_record(const std::string& nam
   co_return ObjectRecord::deserialize(*raw);
 }
 
-sim::Task<Result<FetchOutcome>> VStoreNode::fetch_object(const std::string& name) {
+sim::Task<Result<FetchOutcome>> VStoreNode::fetch_attempt(const std::string& name) {
   auto& sim = cloud_.sim();
   auto& net = cloud_.network();
-  const TimePoint t0 = sim.now();
   FetchOutcome out;
-
-  co_await command_round_trip();
 
   auto rec = co_await lookup_record(name, out.dht_lookup);
   if (!rec.ok()) co_return rec.error();
@@ -266,20 +280,59 @@ sim::Task<Result<FetchOutcome>> VStoreNode::fetch_object(const std::string& name
   } else {
     VStoreNode* ownr = cloud_.node_by_key(rec->location.node);
     if (ownr == nullptr || !ownr->online()) {
+      // Owner down. A copy may survive in the remote cloud from an earlier
+      // placement spill — the last-resort replica before reporting
+      // unavailability (the retry loop handles the transient case).
+      const std::string url = cloud::S3Store::url_for("vstore", name);
+      if (cloud_.s3().exists(url)) {
+        auto got = co_await cloud_.s3().get(chimera_.net_node(), url);
+        if (!got.ok()) co_return got.error();
+        cloud_.wan_estimator().observe_download(rec->meta.size, sim.now() - n0);
+        out.from_cloud = true;
+        ++stats_.fetch_cloud_fallbacks;
+        out.inter_node = sim.now() - n0;
+        co_return out;
+      }
       co_return Error{Errc::unavailable, "object owner offline: " + name};
     }
     // Request message, owner's disk read, then the zero-copy transfer back.
     co_await net.send_message(chimera_.net_node(), ownr->chimera().net_node());
     auto got = co_await ownr->fs_.read(name);
     if (!got.ok()) co_return got.error();
+    if (!ownr->online()) co_return Error{Errc::unavailable, "owner died mid-read: " + name};
     co_await net.transfer(ownr->chimera().net_node(), chimera_.net_node(), rec->meta.size,
                           cloud_.lan_profile());
   }
   out.inter_node = sim.now() - n0;
+  co_return out;
+}
+
+sim::Task<Result<FetchOutcome>> VStoreNode::fetch_object(const std::string& name) {
+  auto& sim = cloud_.sim();
+  const TimePoint t0 = sim.now();
+
+  co_await command_round_trip();
+
+  // Locate-and-transfer with bounded retries: lost messages, owners that die
+  // mid-fetch, and flaky disks all surface as transient errors here.
+  const RetryPolicy& rp = cloud_.config().retry;
+  Result<FetchOutcome> res = Error{Errc::unavailable, "not attempted"};
+  for (int attempt = 1;; ++attempt) {
+    res = co_await fetch_attempt(name);
+    if (res.ok() || !RetryPolicy::transient(res.code())) break;
+    if (attempt >= rp.max_attempts) break;
+    ++stats_.fetch_retries;
+    co_await sim.delay(rp.backoff(attempt, rng_));
+  }
+  if (!res.ok()) {
+    ++stats_.op_failures;
+    co_return res.error();
+  }
+  FetchOutcome out = *res;
 
   // Deliver into the guest VM.
   const TimePoint x0 = sim.now();
-  co_await xensocket_.transfer(rec->meta.size);
+  co_await xensocket_.transfer(out.size);
   out.inter_domain = sim.now() - x0;
 
   co_await command_round_trip();
@@ -439,6 +492,14 @@ sim::Task<Result<void>> VStoreNode::run_at_site(const ExecSite& site, const Exec
       }
     } else {
       VStoreNode* ownr = cloud_.node_by_key(rec.location.node);
+      // A crashed owner usually restarts within the fault plan's downtime;
+      // wait with backoff before declaring the argument unavailable.
+      const RetryPolicy& rp = cloud_.config().retry;
+      for (int attempt = 1; (ownr == nullptr || !ownr->online()) && attempt < rp.max_attempts;
+           ++attempt) {
+        co_await sim.delay(rp.backoff(attempt, rng_));
+        ownr = cloud_.node_by_key(rec.location.node);
+      }
       if (ownr == nullptr || !ownr->online()) {
         co_return Error{Errc::unavailable, "object owner offline: " + name};
       }

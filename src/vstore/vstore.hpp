@@ -21,6 +21,8 @@
 #include <vector>
 
 #include "src/cloud/cloud.hpp"
+#include "src/common/retry.hpp"
+#include "src/common/rng.hpp"
 #include "src/kv/kvstore.hpp"
 #include "src/mon/monitor.hpp"
 #include "src/overlay/overlay.hpp"
@@ -73,6 +75,15 @@ struct ProcessOutcome {
   Duration result_return{};
 };
 
+/// Per-node counters for the hardened operation paths (fault tolerance
+/// bookkeeping; the cost breakdowns live in the outcome structs).
+struct VStoreNodeStats {
+  std::uint64_t fetch_retries = 0;         // fetch attempts beyond the first
+  std::uint64_t fetch_cloud_fallbacks = 0; // served from S3 while owner down
+  std::uint64_t store_reroutes = 0;        // placement re-routed around a failure
+  std::uint64_t op_failures = 0;           // operations that exhausted retries
+};
+
 /// One home node's VStore++ instance (guest-facing API + dom0 logic).
 class VStoreNode {
  public:
@@ -87,6 +98,7 @@ class VStoreNode {
   mon::ResourceMonitor& monitor() { return *monitor_; }
   const std::string& name() const { return chimera_.name(); }
   bool online() const { return chimera_.online(); }
+  const VStoreNodeStats& stats() const { return stats_; }
 
   /// The principal acting from this node's application VM. Defaults to a
   /// trusted VM named after the node; examples/tests override it to model
@@ -145,6 +157,9 @@ class VStoreNode {
 
   // dom0-side helpers.
   sim::Task<Result<ObjectRecord>> lookup_record(const std::string& name, Duration& dht_cost);
+  /// One locate-and-transfer attempt for fetch_object (lookup, authorize,
+  /// data movement into dom0 — no guest delivery). The retry loop wraps it.
+  sim::Task<Result<FetchOutcome>> fetch_attempt(const std::string& name);
   sim::Task<Result<void>> run_at_site(const ExecSite& site, const ExecSite& owner_site,
                                       const std::string& name,
                                       const std::vector<services::ServiceProfile>& stages,
@@ -166,6 +181,8 @@ class VStoreNode {
   std::unordered_map<std::string, ObjectMeta> created_;  // pending CreateObject
   std::set<std::string> deployed_;
   Principal principal_;
+  Rng rng_;  // retry-backoff jitter; forked from the simulation seed
+  VStoreNodeStats stats_;
 };
 
 }  // namespace c4h::vstore

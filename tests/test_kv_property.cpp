@@ -1,0 +1,214 @@
+// Property-based KV checking: random operation sequences — puts under all
+// three overwrite policies, gets, get_all, erases — executed against the
+// distributed store while nodes join and gracefully leave, with every
+// result compared against a trivially-correct in-memory reference model.
+// No fault injection here: under graceful churn alone the hardened store
+// must agree with the reference exactly, on every operation.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/kv/kvstore.hpp"
+
+namespace c4h::kv {
+namespace {
+
+using overlay::ChimeraNode;
+using overlay::Overlay;
+using overlay::OverlayConfig;
+using sim::Simulation;
+using sim::Task;
+
+struct PropRig {
+  Simulation sim;
+  net::Topology topo;
+  std::vector<std::unique_ptr<vmm::Host>> hosts;
+  std::unique_ptr<net::Network> net;
+  std::unique_ptr<Overlay> overlay;
+  std::unique_ptr<KvStore> kv;
+  std::vector<ChimeraNode*> nodes;
+
+  PropRig(int n, std::uint64_t seed) : sim(seed) {
+    const auto sw = topo.add_node();
+    for (int i = 0; i < n; ++i) {
+      vmm::HostSpec spec;
+      spec.name = "prop-host-" + std::to_string(i);
+      hosts.push_back(std::make_unique<vmm::Host>(sim, spec));
+      const auto nn = topo.add_node();
+      topo.add_duplex(nn, sw, mbps(95.5), microseconds(150));
+      hosts.back()->set_net_node(nn);
+    }
+    net = std::make_unique<net::Network>(sim, std::move(topo));
+    OverlayConfig ocfg;
+    ocfg.stabilize_period = milliseconds(500);
+    overlay = std::make_unique<Overlay>(sim, *net, ocfg);
+    KvConfig kcfg;
+    kcfg.replication = 2;
+    kv = std::make_unique<KvStore>(*overlay, kcfg);
+    for (int i = 0; i < n; ++i) {
+      nodes.push_back(&overlay->create_node("prop-node-" + std::to_string(i),
+                                            *hosts[static_cast<std::size_t>(i)]));
+    }
+  }
+
+};
+
+// The reference: exactly what a correct versioned map does, no distribution.
+using Reference = std::unordered_map<Key, std::vector<std::string>>;
+
+std::string as_string(const Buffer& b) { return {b.begin(), b.end()}; }
+Buffer as_buffer(const std::string& s) { return {s.begin(), s.end()}; }
+
+class KvProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(KvProperty, RandomOpsMatchReferenceModelUnderGracefulChurn) {
+  const std::uint64_t seed = GetParam();
+  // 10 nodes total; 6 join up front, the rest are reserves that join
+  // mid-run so redistribution-on-join is exercised too.
+  PropRig rig{10, seed};
+  rig.overlay->start_stabilization();
+
+  rig.sim.run_task([](PropRig& r, std::uint64_t sd) -> Task<> {
+    Rng rng{sd};
+    std::vector<bool> joined(r.nodes.size(), false);
+    for (std::size_t i = 0; i < 6; ++i) {
+      (void)co_await r.overlay->join(*r.nodes[i], i == 0 ? nullptr : r.nodes[0]);
+      joined[i] = true;
+    }
+
+    // Only ring members may act: a created-but-unjoined node is an island
+    // whose local routing diverges from the overlay by construction.
+    auto random_member = [&r, &joined](Rng& g) -> ChimeraNode* {
+      std::vector<ChimeraNode*> live;
+      for (std::size_t i = 0; i < r.nodes.size(); ++i) {
+        if (joined[i] && r.nodes[i]->online()) live.push_back(r.nodes[i]);
+      }
+      if (live.empty()) return nullptr;
+      return live[g.below(live.size())];
+    };
+    auto member_count = [&r, &joined] {
+      std::size_t c = 0;
+      for (std::size_t i = 0; i < r.nodes.size(); ++i) {
+        if (joined[i] && r.nodes[i]->online()) ++c;
+      }
+      return c;
+    };
+
+    // Fixed key pool so collisions (and thus policy interactions) happen.
+    std::vector<Key> pool;
+    for (int i = 0; i < 24; ++i) pool.push_back(Key::from_name("pk-" + std::to_string(i)));
+
+    Reference ref;
+    for (int step = 0; step < 200; ++step) {
+      co_await r.sim.delay(milliseconds(100));
+      ChimeraNode* actor = random_member(rng);
+      EXPECT_NE(actor, nullptr);
+      if (actor == nullptr) co_return;
+      const Key k = pool[rng.below(pool.size())];
+      const std::string v = "v" + std::to_string(step);
+      const double dice = rng.uniform();
+
+      if (dice < 0.20) {
+        auto res = co_await r.kv->put(*actor, k, as_buffer(v), OverwritePolicy::overwrite);
+        EXPECT_TRUE(res.ok()) << "overwrite put failed at step " << step << " seed " << sd;
+        if (res.ok()) ref[k] = {v};
+      } else if (dice < 0.35) {
+        auto res = co_await r.kv->put(*actor, k, as_buffer(v), OverwritePolicy::chain);
+        EXPECT_TRUE(res.ok()) << "chain put failed at step " << step << " seed " << sd;
+        if (res.ok()) ref[k].push_back(v);
+      } else if (dice < 0.45) {
+        auto res = co_await r.kv->put(*actor, k, as_buffer(v), OverwritePolicy::error);
+        if (ref.contains(k)) {
+          EXPECT_FALSE(res.ok()) << "error-policy put clobbered an existing key, step " << step;
+          EXPECT_EQ(res.code(), Errc::already_exists);
+        } else {
+          EXPECT_TRUE(res.ok()) << "error-policy put of a fresh key failed, step " << step;
+          if (res.ok()) ref[k] = {v};
+        }
+      } else if (dice < 0.65) {
+        auto res = co_await r.kv->get(*actor, k);
+        const auto it = ref.find(k);
+        if (it == ref.end()) {
+          EXPECT_FALSE(res.ok()) << "phantom key at step " << step << " seed " << sd;
+          EXPECT_EQ(res.code(), Errc::not_found);
+        } else {
+          EXPECT_TRUE(res.ok()) << "get of known key failed at step " << step << " seed " << sd;
+          if (res.ok()) {
+            EXPECT_EQ(as_string(*res), it->second.back()) << "step " << step << " seed " << sd;
+          }
+        }
+      } else if (dice < 0.80) {
+        auto res = co_await r.kv->get_all(*actor, k);
+        const auto it = ref.find(k);
+        if (it == ref.end()) {
+          EXPECT_FALSE(res.ok());
+        } else {
+          EXPECT_TRUE(res.ok()) << "get_all of known key failed at step " << step;
+          if (res.ok()) {
+            EXPECT_EQ(res->size(), it->second.size()) << "version chain length, step " << step;
+            const std::size_t n = std::min(res->size(), it->second.size());
+            for (std::size_t i = 0; i < n; ++i) {
+              EXPECT_EQ(as_string((*res)[i]), it->second[i])
+                  << "version " << i << " at step " << step << " seed " << sd;
+            }
+          }
+        }
+      } else if (dice < 0.90) {
+        auto res = co_await r.kv->erase(*actor, k);
+        if (ref.contains(k)) {
+          EXPECT_TRUE(res.ok()) << "erase of known key failed at step " << step;
+          if (res.ok()) ref.erase(k);
+        } else {
+          EXPECT_FALSE(res.ok());
+          EXPECT_EQ(res.code(), Errc::not_found);
+        }
+      } else if (dice < 0.95) {
+        // Join a reserve node, if one remains, bootstrapping off any
+        // current member (node 0 may itself have left by now).
+        ChimeraNode* boot = random_member(rng);
+        for (std::size_t i = 0; i < r.nodes.size() && boot != nullptr; ++i) {
+          if (!joined[i]) {
+            auto res = co_await r.overlay->join(*r.nodes[i], boot);
+            EXPECT_TRUE(res.ok()) << "join from live bootstrap failed at step " << step;
+            if (res.ok()) joined[i] = true;
+            break;
+          }
+        }
+      } else if (member_count() > 4) {
+        // Graceful leave: redistribution must hand every key over intact.
+        co_await r.overlay->leave(*actor);
+      }
+    }
+
+    // Quiesce, then the whole keyspace must match the reference exactly.
+    co_await r.sim.delay(seconds(5));
+    ChimeraNode* reader = random_member(rng);
+    EXPECT_NE(reader, nullptr);
+    if (reader == nullptr) co_return;
+    for (const Key& k : pool) {
+      auto res = co_await r.kv->get_all(*reader, k);
+      const auto it = ref.find(k);
+      if (it == ref.end()) {
+        EXPECT_FALSE(res.ok()) << "resurrected key (seed " << sd << ")";
+        continue;
+      }
+      EXPECT_TRUE(res.ok()) << "lost key after churn settled (seed " << sd << ")";
+      if (!res.ok()) continue;
+      EXPECT_EQ(res->size(), it->second.size()) << "seed " << sd;
+      const std::size_t n = std::min(res->size(), it->second.size());
+      for (std::size_t i = 0; i < n; ++i) {
+        EXPECT_EQ(as_string((*res)[i]), it->second[i]) << "seed " << sd;
+      }
+    }
+  }(rig, seed));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, KvProperty,
+                         ::testing::Values(11, 22, 33, 44, 55, 66, 77, 88, 99, 110, 121, 132));
+
+}  // namespace
+}  // namespace c4h::kv
