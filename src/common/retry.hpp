@@ -27,14 +27,14 @@ struct RetryPolicy {
   /// Failures worth retrying: transient routing / availability / timeout
   /// conditions (and injected IO hiccups). Semantic failures — not_found,
   /// already_exists, permission_denied — must surface unchanged.
-  static constexpr bool transient(Errc c) {
+  [[nodiscard]] static constexpr bool transient(Errc c) {
     return c == Errc::timeout || c == Errc::unavailable || c == Errc::no_route ||
            c == Errc::io_error;
   }
 
   /// Pause before retry number `retry` (1-based): base·multiplier^(retry−1),
   /// capped, with ±jitter noise drawn from `rng`.
-  Duration backoff(int retry, Rng& rng) const {
+  [[nodiscard]] Duration backoff(int retry, Rng& rng) const {
     double s = to_seconds(base) * std::pow(multiplier, std::max(0, retry - 1));
     s = std::min(s, to_seconds(cap));
     if (jitter > 0) s *= rng.uniform(1.0 - jitter, 1.0 + jitter);

@@ -36,7 +36,7 @@ class CentralizedMetadata {
                       Duration local_access = microseconds(200))
       : overlay_(overlay), coordinator_(coordinator), local_access_(local_access) {}
 
-  sim::Task<Result<void>> put(overlay::ChimeraNode& origin, Key key, Buffer value) {
+  [[nodiscard]] sim::Task<Result<void>> put(overlay::ChimeraNode& origin, Key key, Buffer value) {
     ++stats_.puts;
     auto& sim = overlay_.simulation();
     auto& net = overlay_.network();
@@ -56,7 +56,7 @@ class CentralizedMetadata {
     co_return Result<void>{};
   }
 
-  sim::Task<Result<Buffer>> get(overlay::ChimeraNode& origin, Key key) {
+  [[nodiscard]] sim::Task<Result<Buffer>> get(overlay::ChimeraNode& origin, Key key) {
     ++stats_.gets;
     auto& sim = overlay_.simulation();
     auto& net = overlay_.network();

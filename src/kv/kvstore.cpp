@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <set>
 
+#include "src/common/ordered.hpp"
+
 namespace c4h::kv {
 
 using overlay::ChimeraNode;
@@ -48,10 +50,10 @@ int KvStore::live_replica_count(Key key, const Entry& entry) const {
 std::size_t KvStore::under_replicated() {
   const int expected = expected_replicas();
   std::size_t deficient = 0;
-  for (auto& [node, store] : stores_) {
+  for (auto& [node, store] : stores_) {  // c4h-lint: allow(R3) — pure count
     ChimeraNode* holder = overlay_.node_by_key(node);
     if (holder == nullptr || !holder->online()) continue;
-    for (auto& [key, entry] : store.primary) {
+    for (auto& [key, entry] : store.primary) {  // c4h-lint: allow(R3) — pure count
       if (live_replica_count(key, entry) < expected) ++deficient;
     }
   }
@@ -325,6 +327,7 @@ sim::Task<Result<void>> KvStore::erase_attempt(ChimeraNode& origin, Key key) {
   // Tear down every copy, registered or not: an unregistered stray replica
   // left behind would otherwise be promoted after a later failure and
   // resurrect the deleted key.
+  // c4h-lint: allow(R3) — erases one key from every store; order-insensitive
   for (auto& [node, s] : stores_) {
     if (s.cache.erase(key) > 0) ++stats_.cache_updates;
     if (s.replica.erase(key) > 0) ++stats_.replication_msgs;
@@ -398,13 +401,16 @@ void KvStore::restore_replication() {
   // the time each membership event finishes.
   if (config_.replication <= 0) return;
   std::vector<std::pair<Key, Key>> work;  // (owner node, key); apply after the
-  for (auto& [node, store] : stores_) {   // scan so inserts can't rehash under us
+  // scan so inserts can't rehash under us. The scan loops are hash-ordered but
+  // only collect; sorting `work` below makes repair order seed-stable (R3).
+  for (auto& [node, store] : stores_) {  // c4h-lint: allow(R3) — sorted below
     ChimeraNode* holder = overlay_.node_by_key(node);
     if (holder == nullptr || !holder->online()) continue;
-    for (auto& [key, entry] : store.primary) {
+    for (auto& [key, entry] : store.primary) {  // c4h-lint: allow(R3) — sorted below
       if (live_replica_count(key, entry) < expected_replicas()) work.emplace_back(node, key);
     }
   }
+  std::sort(work.begin(), work.end());
   for (const auto& [node, key] : work) {
     const auto sit = stores_.find(node);
     if (sit == stores_.end()) continue;
@@ -436,11 +442,9 @@ sim::Task<> KvStore::redistribute_on_leave(ChimeraNode& leaver) {
   if (const auto sit = stores_.find(leaver.id()); sit != stores_.end()) {
     // Hand each authoritative entry to the node that becomes its owner once
     // the leaver is gone (its closest remaining ring neighbour for that key).
-    std::vector<Key> keys;
-    keys.reserve(sit->second.primary.size());
-    for (const auto& [k, e] : sit->second.primary) keys.push_back(k);
-
-    for (const Key key : keys) {
+    // Sorted traversal: the transfers below emit awaited messages, so the
+    // hand-off order must be a function of the seed, not of hash layout.
+    for (const Key key : sorted_keys(sit->second.primary)) {
       Entry* e = find_primary(leaver.id(), key);
       if (e == nullptr) continue;  // moved/erased while we were transferring
       Key best{};
@@ -478,8 +482,9 @@ sim::Task<> KvStore::redistribute_on_leave(ChimeraNode& leaver) {
 
   // Scrub the leaver from every cache/replica registration — its copies left
   // with it.
+  // c4h-lint: allow(R3) — per-entry erase of one id; order-insensitive
   for (auto& [node, store] : stores_) {
-    for (auto& [key, entry] : store.primary) {
+    for (auto& [key, entry] : store.primary) {  // c4h-lint: allow(R3)
       entry.cached_at.erase(leaver.id());
       entry.replica_at.erase(leaver.id());
     }
@@ -498,6 +503,7 @@ sim::Task<> KvStore::redistribute_on_join(ChimeraNode& joiner) {
   if (const auto sit = stores_.find(jid); sit != stores_.end()) {
     sit->second.cache.clear();
     sit->second.replica.clear();
+    // c4h-lint: allow(R3) — prunes dangling registrations per entry; order-insensitive
     for (auto& [key, entry] : sit->second.primary) {
       for (auto it = entry.replica_at.begin(); it != entry.replica_at.end();) {
         const auto s = stores_.find(*it);
@@ -511,9 +517,10 @@ sim::Task<> KvStore::redistribute_on_join(ChimeraNode& joiner) {
       }
     }
   }
+  // c4h-lint: allow(R3) — per-entry erase of one id; order-insensitive
   for (auto& [node, store] : stores_) {
     if (node == jid) continue;
-    for (auto& [key, entry] : store.primary) {
+    for (auto& [key, entry] : store.primary) {  // c4h-lint: allow(R3)
       entry.cached_at.erase(jid);
       entry.replica_at.erase(jid);
     }
@@ -526,14 +533,17 @@ sim::Task<> KvStore::redistribute_on_join(ChimeraNode& joiner) {
   // restored node may hold an older copy of a key that was re-owned and
   // rewritten while it was down, and that stale copy must never serve.
   std::vector<std::pair<Key, Key>> moves;  // (holder node, key)
-  for (auto& [node, store] : stores_) {
+  for (auto& [node, store] : stores_) {  // c4h-lint: allow(R3) — sorted below
     if (node == jid) continue;
     ChimeraNode* holder = overlay_.node_by_key(node);
     if (holder == nullptr || !holder->online()) continue;
-    for (auto& [key, entry] : store.primary) {
+    for (auto& [key, entry] : store.primary) {  // c4h-lint: allow(R3) — sorted below
       if (overlay_.true_owner(key) == jid) moves.emplace_back(node, key);
     }
   }
+  // Sorted application: message counting and seq-based promotion below must
+  // happen in a seed-stable order, not hash order.
+  std::sort(moves.begin(), moves.end());
   for (const auto& [holder_key, key] : moves) {
     const auto hs = stores_.find(holder_key);
     if (hs == stores_.end()) continue;
@@ -575,19 +585,22 @@ sim::Task<> KvStore::repair_after_failure(Key dead) {
   // then restore the replication factor. Also scrub the dead node from
   // cache/replica registrations.
   stores_.erase(dead);
+  // c4h-lint: allow(R3) — per-entry erase of one id; order-insensitive
   for (auto& [node, store] : stores_) {
-    for (auto& [key, entry] : store.primary) {
+    for (auto& [key, entry] : store.primary) {  // c4h-lint: allow(R3)
       entry.cached_at.erase(dead);
       entry.replica_at.erase(dead);
     }
   }
 
   // Keys whose replicas exist but whose current owner lost the primary.
+  // The scan is hash-ordered but the std::set canonicalizes: promotion below
+  // runs in sorted key order regardless of how the orphans were discovered.
   std::set<Key> orphaned;
-  for (auto& [node, store] : stores_) {
+  for (auto& [node, store] : stores_) {  // c4h-lint: allow(R3) — set-canonicalized
     ChimeraNode* holder = overlay_.node_by_key(node);
     if (holder == nullptr || !holder->online()) continue;
-    for (auto& [key, copy] : store.replica) {
+    for (auto& [key, copy] : store.replica) {  // c4h-lint: allow(R3) — set-canonicalized
       const Key owner = overlay_.true_owner(key);
       const auto oit = stores_.find(owner);
       if (oit == stores_.end() || !oit->second.primary.contains(key)) orphaned.insert(key);
@@ -601,6 +614,7 @@ sim::Task<> KvStore::repair_after_failure(Key dead) {
     Key best_holder{};
     std::uint64_t best_seq = 0;
     bool found = false;
+    // c4h-lint: allow(R3) — max scan with a total-order tie-break on node id
     for (auto& [node, store] : stores_) {
       ChimeraNode* h = overlay_.node_by_key(node);
       if (h == nullptr || !h->online()) continue;
@@ -639,6 +653,7 @@ sim::Task<> KvStore::repair_after_failure(Key dead) {
     // Surviving copies: refresh older ones to the promoted value and
     // re-register them; cached copies of the key anywhere may predate the
     // crash and are dropped wholesale (they re-form on the next reads).
+    // c4h-lint: allow(R3) — per-store refresh of one key; order-insensitive
     for (auto& [n2, s2] : stores_) {
       s2.cache.erase(key);
       if (n2 == owner_key) {
@@ -663,16 +678,14 @@ sim::Task<> KvStore::repair_after_failure(Key dead) {
 }
 
 std::vector<Key> KvStore::primary_keys(Key node) const {
-  std::vector<Key> out;
   const auto it = stores_.find(node);
-  if (it == stores_.end()) return out;
-  out.reserve(it->second.primary.size());
-  for (const auto& [k, e] : it->second.primary) out.push_back(k);
-  return out;
+  if (it == stores_.end()) return {};
+  return sorted_keys(it->second.primary);  // stable order for callers/tests
 }
 
 std::size_t KvStore::total_entries() const {
   std::size_t n = 0;
+  // c4h-lint: allow(R3) — integer sum; order-insensitive
   for (const auto& [node, store] : stores_) n += store.primary.size();
   return n;
 }

@@ -82,16 +82,16 @@ class KvStore {
   /// pays exactly this extra ack). Transient failures are retried with
   /// backoff; a lost request is detected by the sender's timeout and is safe
   /// to resend (the value was never applied).
-  sim::Task<Result<void>> put(overlay::ChimeraNode& origin, Key key, Buffer value,
+  [[nodiscard]] sim::Task<Result<void>> put(overlay::ChimeraNode& origin, Key key, Buffer value,
                               OverwritePolicy policy = OverwritePolicy::overwrite);
 
   /// Latest version of the value for `key`.
-  sim::Task<Result<Buffer>> get(overlay::ChimeraNode& origin, Key key);
+  [[nodiscard]] sim::Task<Result<Buffer>> get(overlay::ChimeraNode& origin, Key key);
 
   /// All chained versions, oldest first.
-  sim::Task<Result<std::vector<Buffer>>> get_all(overlay::ChimeraNode& origin, Key key);
+  [[nodiscard]] sim::Task<Result<std::vector<Buffer>>> get_all(overlay::ChimeraNode& origin, Key key);
 
-  sim::Task<Result<void>> erase(overlay::ChimeraNode& origin, Key key);
+  [[nodiscard]] sim::Task<Result<void>> erase(overlay::ChimeraNode& origin, Key key);
 
   const KvStats& stats() const { return stats_; }
   const KvConfig& config() const { return config_; }

@@ -81,7 +81,7 @@ class ResourceMonitor {
 };
 
 /// Reads another node's most recent record from the KV store.
-sim::Task<Result<ResourceRecord>> fetch_record(kv::KvStore& kv, overlay::ChimeraNode& origin,
+[[nodiscard]] sim::Task<Result<ResourceRecord>> fetch_record(kv::KvStore& kv, overlay::ChimeraNode& origin,
                                                Key node);
 
 }  // namespace c4h::mon

@@ -14,7 +14,7 @@
 
 #include <cstdint>
 #include <functional>
-#include <unordered_map>
+#include <map>
 
 #include "src/common/log.hpp"
 #include "src/common/rng.hpp"
@@ -46,27 +46,27 @@ class Network {
 
   /// Transfers `size` bytes from `src` to `dst`; completes when the last
   /// byte is delivered. Loopback (src == dst) costs only the handshake.
-  sim::Task<> transfer(NetNodeId src, NetNodeId dst, Bytes size, TcpProfile profile = {});
+  [[nodiscard]] sim::Task<> transfer(NetNodeId src, NetNodeId dst, Bytes size, TcpProfile profile = {});
 
   /// Striped transfer: splits the object across `streams` parallel
   /// connections and completes when the last byte of the last stripe
   /// lands. Each stripe is its own TCP flow, so window-capped WAN paths
   /// gain up to streams× until the link itself saturates — the paper's
   /// future-work "better object transfer protocols" (§VII).
-  sim::Task<> transfer_striped(NetNodeId src, NetNodeId dst, Bytes size, TcpProfile profile,
+  [[nodiscard]] sim::Task<> transfer_striped(NetNodeId src, NetNodeId dst, Bytes size, TcpProfile profile,
                                int streams);
 
   /// Sends a small control message: path latency (with jitter) plus a fixed
   /// per-hop processing cost; no bandwidth is booked. Reliable: when a fault
   /// plan drops the message, the sender retransmits (paying the loss-
   /// detection timeout each time) until it gets through.
-  sim::Task<> send_message(NetNodeId src, NetNodeId dst, Bytes size = 50);
+  [[nodiscard]] sim::Task<> send_message(NetNodeId src, NetNodeId dst, Bytes size = 50);
 
   /// Unreliable variant: one send attempt. Returns false if the fault layer
   /// dropped the message — the caller resumes only after its loss-detection
   /// timeout has elapsed, and owns the retry/backoff decision. The hardened
   /// KV/VStore paths use this to drive their own per-operation timeouts.
-  sim::Task<bool> try_send_message(NetNodeId src, NetNodeId dst, Bytes size = 50);
+  [[nodiscard]] sim::Task<bool> try_send_message(NetNodeId src, NetNodeId dst, Bytes size = 50);
 
   /// One-way message latency sample (used by send_message).
   Duration sample_message_latency(NetNodeId src, NetNodeId dst, Bytes size);
@@ -110,7 +110,11 @@ class Network {
   Rng rng_;
   Duration hop_processing_ = microseconds(100);
   std::uint64_t next_flow_id_ = 1;
-  std::unordered_map<std::uint64_t, Flow> flows_;
+  // Ordered by id (= admission order), not hashed: recompute() iterates this
+  // table to build the max-min solver's inputs and to accumulate per-link
+  // loads, and floating-point summation order must not depend on hash-table
+  // layout — determinism rule R3 (tools/c4h-lint).
+  std::map<std::uint64_t, Flow> flows_;
   NetworkStats stats_;
 };
 

@@ -64,12 +64,12 @@ class Overlay {
   /// Joins `node` via `bootstrap` (nullptr for the first node): routes a
   /// join request toward the node's own id, copies routing state from the
   /// nodes encountered, then announces itself.
-  sim::Task<Result<void>> join(ChimeraNode& node, ChimeraNode* bootstrap);
+  [[nodiscard]] sim::Task<Result<void>> join(ChimeraNode& node, ChimeraNode* bootstrap);
 
   /// Graceful departure: notifies left/right ring neighbours and all other
   /// known peers; runs the registered leave hook first so stored keys can be
   /// handed off while the node is still reachable.
-  sim::Task<> leave(ChimeraNode& node);
+  [[nodiscard]] sim::Task<> leave(ChimeraNode& node);
 
   /// Abrupt failure: the node's host goes offline with no notification.
   /// Neighbours discover it via the stabilization heartbeat. The node's
@@ -85,12 +85,12 @@ class Overlay {
   /// scratch via `bootstrap`), then the join hook lets the KV layer hand
   /// back the keys this node now owns. Its ObjectFs contents survive the
   /// power cycle — only volatile state is lost.
-  sim::Task<Result<void>> restart(ChimeraNode& node, ChimeraNode* bootstrap);
+  [[nodiscard]] sim::Task<Result<void>> restart(ChimeraNode& node, ChimeraNode* bootstrap);
 
   /// Routes from `origin` toward `target`; resolves the owning node.
   /// If `stop_at` is set and returns true for an intermediate node, routing
   /// stops there (used by the KV layer's path caches).
-  sim::Task<Result<RouteResult>> route(ChimeraNode& origin, Key target,
+  [[nodiscard]] sim::Task<Result<RouteResult>> route(ChimeraNode& origin, Key target,
                                        const std::function<bool(ChimeraNode&)>& stop_at = {});
 
   /// The `r` live ring successors of `node` (clockwise), excluding itself —

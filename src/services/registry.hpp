@@ -37,7 +37,7 @@ class ServiceRegistry {
 
   /// Registers `node` as offering the service (read-modify-write of the node
   /// list in the KV store).
-  sim::Task<Result<void>> register_node(overlay::ChimeraNode& node, const ServiceProfile& p) {
+  [[nodiscard]] sim::Task<Result<void>> register_node(overlay::ChimeraNode& node, const ServiceProfile& p) {
     const Key k = registry_key(p);
     std::vector<Key> nodes;
     auto existing = co_await kv_.get(node, k);
@@ -52,7 +52,7 @@ class ServiceRegistry {
     co_return co_await kv_.put(node, k, encode_nodes(nodes));
   }
 
-  sim::Task<Result<void>> deregister_node(overlay::ChimeraNode& node, const ServiceProfile& p) {
+  [[nodiscard]] sim::Task<Result<void>> deregister_node(overlay::ChimeraNode& node, const ServiceProfile& p) {
     const Key k = registry_key(p);
     auto existing = co_await kv_.get(node, k);
     if (!existing.ok()) co_return existing.error();
@@ -63,7 +63,7 @@ class ServiceRegistry {
   }
 
   /// Nodes currently offering the service, looked up from `origin`.
-  sim::Task<Result<std::vector<Key>>> lookup(overlay::ChimeraNode& origin,
+  [[nodiscard]] sim::Task<Result<std::vector<Key>>> lookup(overlay::ChimeraNode& origin,
                                              const ServiceProfile& p) {
     auto raw = co_await kv_.get(origin, registry_key(p));
     if (!raw.ok()) co_return raw.error();

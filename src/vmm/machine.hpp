@@ -16,9 +16,9 @@
 // between job arrivals/departures — the same fluid approach as the network.
 #pragma once
 
+#include <map>
 #include <memory>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "src/common/units.hpp"
@@ -153,7 +153,10 @@ class Host {
   bool online_ = true;
 
   std::uint64_t next_job_id_ = 1;
-  std::unordered_map<std::uint64_t, Job> jobs_;
+  // Ordered by id (= submission order), not hashed: recompute() iterates this
+  // table into the fair-share solver and cpu_utilization() sums rates, so
+  // iteration order must be seed-stable — determinism rule R3 (tools/c4h-lint).
+  std::map<std::uint64_t, Job> jobs_;
   std::uint64_t jobs_completed_ = 0;
 
   double battery_wh_;

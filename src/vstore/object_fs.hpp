@@ -36,7 +36,7 @@ class ObjectFs {
   /// Writes the object's file; fails with no_capacity when the bin is full.
   /// Overwrites reuse the old file's space; the old file survives a failed
   /// overwrite (capacity is checked before anything is destroyed).
-  sim::Task<Result<void>> write(const std::string& name, Bytes size, Bin bin) {
+  [[nodiscard]] sim::Task<Result<void>> write(const std::string& name, Bytes size, Bin bin) {
     if (sim::FaultPlan* fp = sim_.fault(); fp != nullptr) {
       // Spurious bin-full and flaky-media faults; both leave the old file
       // (if any) untouched, like the real failure modes they model.
@@ -63,7 +63,7 @@ class ObjectFs {
   }
 
   /// Reads the object's file; returns its size.
-  sim::Task<Result<Bytes>> read(const std::string& name) {
+  [[nodiscard]] sim::Task<Result<Bytes>> read(const std::string& name) {
     const auto it = files_.find(name);
     if (it == files_.end()) co_return Error{Errc::not_found, "no file: " + name};
     if (sim::FaultPlan* fp = sim_.fault(); fp != nullptr && fp->inject_io_error()) {
@@ -74,7 +74,7 @@ class ObjectFs {
     co_return it->second.size;
   }
 
-  Result<void> remove(const std::string& name) {
+  [[nodiscard]] Result<void> remove(const std::string& name) {
     const auto it = files_.find(name);
     if (it == files_.end()) return Error{Errc::not_found, "no file: " + name};
     release(it->second);

@@ -115,24 +115,24 @@ class VStoreNode {
   }
 
   /// Publishes this node's deployed services to the registry.
-  sim::Task<Result<void>> publish_services();
+  [[nodiscard]] sim::Task<Result<void>> publish_services();
 
   // --- The VStore++ application API (called from the guest VM) -----------
 
   /// Maps a file to an object and creates the mandatory meta information.
-  sim::Task<Result<void>> create_object(ObjectMeta meta);
+  [[nodiscard]] sim::Task<Result<void>> create_object(ObjectMeta meta);
 
   /// Transfers the object out of the guest and places it per policy.
-  sim::Task<Result<StoreOutcome>> store_object(const std::string& name, StoreOptions opts = {});
+  [[nodiscard]] sim::Task<Result<StoreOutcome>> store_object(const std::string& name, StoreOptions opts = {});
 
   /// Locates and retrieves an object into the guest VM.
-  sim::Task<Result<FetchOutcome>> fetch_object(const std::string& name);
+  [[nodiscard]] sim::Task<Result<FetchOutcome>> fetch_object(const std::string& name);
 
   /// Invokes a service on a stored object; the execution site is chosen by
   /// chimeraGetDecision under `policy`. Passing `force` pins the execution
   /// site instead (used by experiments that sweep sites, e.g. Fig 7); the
   /// decision bookkeeping is skipped in that case.
-  sim::Task<Result<ProcessOutcome>> process(const std::string& name,
+  [[nodiscard]] sim::Task<Result<ProcessOutcome>> process(const std::string& name,
                                             const services::ServiceProfile& service,
                                             DecisionPolicy policy = DecisionPolicy::performance,
                                             std::optional<ExecSite> force = std::nullopt);
@@ -141,14 +141,14 @@ class VStoreNode {
   /// pipeline: "first perform face detection, and next face recognition
   /// processing on each image"). The argument object moves to the site
   /// once; intermediate outputs stay there; only the final output returns.
-  sim::Task<Result<ProcessOutcome>> process_pipeline(
+  [[nodiscard]] sim::Task<Result<ProcessOutcome>> process_pipeline(
       const std::string& name, const std::vector<services::ServiceProfile>& stages,
       DecisionPolicy policy = DecisionPolicy::performance,
       std::optional<ExecSite> force = std::nullopt);
 
   /// Fetch with processing attached: runs at the requester if capable, else
   /// at the owner, else wherever the decision engine picks (§III-B).
-  sim::Task<Result<ProcessOutcome>> fetch_process(
+  [[nodiscard]] sim::Task<Result<ProcessOutcome>> fetch_process(
       const std::string& name, const services::ServiceProfile& service,
       DecisionPolicy policy = DecisionPolicy::performance);
 

@@ -1,0 +1,13 @@
+// R1 fixture (bad): co_await of a temporary task in a loop header and in a
+// compound subexpression. Token-level fixture — it only has to parse.
+namespace c4h {
+sim::Task<bool> poll_ready();
+sim::Task<int> sample();
+
+sim::Task<> driver() {
+  while (co_await poll_ready()) {       // R1: temporary awaited in loop header
+    const int v = co_await sample() + 1;  // R1: compound subexpression
+    (void)v;
+  }
+}
+}  // namespace c4h

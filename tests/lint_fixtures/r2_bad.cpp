@@ -1,0 +1,12 @@
+// R2 fixture (bad): wall-clock and ambient-entropy sources.
+namespace c4h {
+double wall_seconds() {
+  const auto t0 = std::chrono::steady_clock::now();  // R2: wall clock
+  (void)t0;
+  return static_cast<double>(time(nullptr));  // R2: time() call
+}
+
+int noisy_roll() {
+  return rand() % 6;  // R2: ambient entropy
+}
+}  // namespace c4h

@@ -1,0 +1,15 @@
+// R2 fixture (good): time comes from the virtual clock, randomness from the
+// seeded Rng, and a member spelled time() is not mistaken for ::time().
+namespace c4h {
+double sim_seconds(const sim::Simulation& sim) {
+  return to_seconds(sim.now());
+}
+
+int seeded_roll(Rng& rng) {
+  return rng.uniform_int(1, 6);
+}
+
+double elapsed(const Stopwatch& sw) {
+  return sw.time();  // member access, not the libc call
+}
+}  // namespace c4h

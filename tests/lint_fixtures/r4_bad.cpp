@@ -1,0 +1,10 @@
+// R4 fixture (bad): a swallowed Result and an unannotated (void) launder.
+namespace c4h {
+Result<void> flush_metadata();
+sim::Task<Result<void>> replicate_all();
+
+void tick() {
+  flush_metadata();       // R4: error silently dropped
+  (void)replicate_all();  // R4: laundered but not annotated — lazy task leaks
+}
+}  // namespace c4h

@@ -1,0 +1,6 @@
+// R5 fixture (bad): no include-guard pragma, and no c4h namespace. (Wording
+// matters: the guard check scans raw lines, so this comment must not spell
+// the directive out.)
+struct Orphan {
+  int x = 0;
+};

@@ -129,6 +129,7 @@ TEST_P(ChurnSweep, SystemStaysConsistentUnderRandomChurn) {
     EXPECT_NE(reader, nullptr);
     if (reader == nullptr) co_return;
     int lost = 0;
+    // c4h-lint: allow(R3) — readback sweep; assertions are per-key.
     for (const auto& [k, v] : oracle) {
       auto res = co_await r.kv->get(*reader, k);
       if (!res.ok()) {

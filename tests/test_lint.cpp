@@ -1,0 +1,168 @@
+// End-to-end tests for tools/c4h-lint: each rule R1–R5 has a checked-in bad
+// fixture (must produce exactly the expected diagnostics and a non-zero exit)
+// and a good fixture (must lint clean), plus tests for suppression comments,
+// --rules filtering, the --fixable summary, and the property the whole PR
+// exists for — the real source tree lints clean.
+//
+// The linter binary and fixture directory are injected by CMake as compile
+// definitions (C4H_LINT_BIN, C4H_LINT_FIXDIR, C4H_SOURCE_DIR).
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdio>
+#include <string>
+
+namespace {
+
+struct LintRun {
+  int exit_code;
+  std::string output;  // stdout + stderr interleaved
+
+  bool contains(const std::string& needle) const {
+    return output.find(needle) != std::string::npos;
+  }
+  // Number of times `needle` occurs in the output.
+  int count(const std::string& needle) const {
+    int n = 0;
+    for (std::size_t pos = output.find(needle); pos != std::string::npos;
+         pos = output.find(needle, pos + needle.size())) {
+      ++n;
+    }
+    return n;
+  }
+};
+
+// Runs the linter with `args` (already shell-quoted by construction: fixture
+// names and flags only) and captures its combined output and exit status.
+LintRun lint(const std::string& args) {
+  const std::string cmd = std::string(C4H_LINT_BIN) + " " + args + " 2>&1";
+  FILE* pipe = popen(cmd.c_str(), "r");
+  EXPECT_NE(pipe, nullptr) << "popen failed for: " << cmd;
+  LintRun run{-1, {}};
+  if (pipe == nullptr) return run;
+  std::array<char, 4096> buf;
+  std::size_t got = 0;
+  while ((got = fread(buf.data(), 1, buf.size(), pipe)) > 0) {
+    run.output.append(buf.data(), got);
+  }
+  const int status = pclose(pipe);
+  run.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  return run;
+}
+
+std::string fixture(const std::string& name) {
+  return std::string(C4H_LINT_FIXDIR) + "/" + name;
+}
+
+}  // namespace
+
+TEST(Lint, R1BadFlagsLoopHeaderAndCompoundAwaits) {
+  const LintRun r = lint(fixture("r1_bad.cpp"));
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_TRUE(r.contains("r1_bad.cpp:8: [R1] co_await of a temporary task inside a loop header"))
+      << r.output;
+  EXPECT_TRUE(r.contains(
+      "r1_bad.cpp:9: [R1] co_await of a temporary task inside a compound subexpression"))
+      << r.output;
+  EXPECT_EQ(r.count("[R1]"), 2) << r.output;
+  EXPECT_TRUE(r.contains("2 unsuppressed diagnostic(s)")) << r.output;
+}
+
+TEST(Lint, R1GoodNamedBindingsLintClean) {
+  const LintRun r = lint(fixture("r1_good.cpp"));
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_TRUE(r.contains("0 unsuppressed diagnostic(s)")) << r.output;
+}
+
+TEST(Lint, R2BadFlagsWallClockAndEntropy) {
+  const LintRun r = lint(fixture("r2_bad.cpp"));
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_TRUE(r.contains("r2_bad.cpp:4: [R2] wall-clock/entropy source 'steady_clock'"))
+      << r.output;
+  EXPECT_TRUE(r.contains("r2_bad.cpp:6: [R2] call to 'time()'")) << r.output;
+  EXPECT_TRUE(r.contains("r2_bad.cpp:10: [R2] call to 'rand()'")) << r.output;
+  EXPECT_EQ(r.count("[R2]"), 3) << r.output;
+}
+
+TEST(Lint, R2GoodVirtualClockAndMemberTimeLintClean) {
+  const LintRun r = lint(fixture("r2_good.cpp"));
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+}
+
+TEST(Lint, R3BadFlagsRangeForAndIteratorTraversal) {
+  const LintRun r = lint(fixture("r3_bad.cpp"));
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_TRUE(r.contains("r3_bad.cpp:9: [R3] range-for over unordered container 'cells_'"))
+      << r.output;
+  EXPECT_TRUE(r.contains("r3_bad.cpp:12: [R3] iterator loop over unordered container 'cells_'"))
+      << r.output;
+  EXPECT_EQ(r.count("[R3]"), 2) << r.output;
+}
+
+TEST(Lint, R3GoodSortedSnapshotAndAnnotationLintClean) {
+  // Covers both remedies: sorted_keys() wrapping and a comment-only
+  // allow(R3) line covering the statement beneath it.
+  const LintRun r = lint(fixture("r3_good.cpp"));
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+}
+
+TEST(Lint, R4BadFlagsDiscardAndUnannotatedLaunder) {
+  const LintRun r = lint(fixture("r4_bad.cpp"));
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_TRUE(r.contains(
+      "r4_bad.cpp:7: [R4] call to 'flush_metadata' discards its Result/Task return value"))
+      << r.output;
+  EXPECT_TRUE(r.contains(
+      "r4_bad.cpp:8: [R4] (void)-laundered Result/Task call 'replicate_all' lacks an allow"))
+      << r.output;
+  EXPECT_EQ(r.count("[R4]"), 2) << r.output;
+}
+
+TEST(Lint, R4GoodAssignedAwaitedAndAnnotatedLintClean) {
+  const LintRun r = lint(fixture("r4_good.cpp"));
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+}
+
+TEST(Lint, R5BadFlagsMissingPragmaAndNamespace) {
+  const LintRun r = lint(fixture("r5_bad.hpp"));
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_TRUE(r.contains("r5_bad.hpp:1: [R5] header is missing #pragma once")) << r.output;
+  EXPECT_TRUE(r.contains("r5_bad.hpp:1: [R5] header does not declare anything in namespace c4h"))
+      << r.output;
+  EXPECT_EQ(r.count("[R5]"), 2) << r.output;
+}
+
+TEST(Lint, R5GoodHeaderHygieneLintClean) {
+  const LintRun r = lint(fixture("r5_good.hpp"));
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+}
+
+TEST(Lint, RulesFilterRestrictsToSelectedRules) {
+  // r1_bad has only R1 violations, so asking for R2 alone must come up empty.
+  const LintRun r = lint("--rules=R2 " + fixture("r1_bad.cpp"));
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  const LintRun r1 = lint("--rules=R1 " + fixture("r1_bad.cpp"));
+  EXPECT_EQ(r1.exit_code, 1) << r1.output;
+  EXPECT_EQ(r1.count("[R1]"), 2) << r1.output;
+}
+
+TEST(Lint, FixableSummaryCountsPerRule) {
+  const LintRun r = lint("--fixable " + fixture("r5_bad.hpp"));
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_TRUE(r.contains("-- fixable summary --")) << r.output;
+  EXPECT_TRUE(r.contains("R5: 2 diagnostic(s)")) << r.output;
+}
+
+TEST(Lint, UnreadablePathIsAUsageError) {
+  const LintRun r = lint(fixture("does_not_exist.cpp"));
+  EXPECT_EQ(r.exit_code, 2) << r.output;
+}
+
+TEST(Lint, SourceTreeLintsClean) {
+  // The contract this PR establishes: src/, tests/, and bench/ carry no
+  // unsuppressed diagnostics. CI enforces the same invariant.
+  const std::string root(C4H_SOURCE_DIR);
+  const LintRun r = lint(root + "/src " + root + "/tests " + root + "/bench");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_TRUE(r.contains("0 unsuppressed diagnostic(s)")) << r.output;
+}

@@ -1,0 +1,785 @@
+// c4h-lint — determinism & coroutine-safety static analyzer for the
+// Cloud4Home tree.
+//
+// The simulation's whole value rests on deterministic replay: the same seed
+// must reproduce a faulted run byte-for-byte (tests/test_determinism.cpp).
+// Two bug classes have already bitten this codebase and are cheap to catch
+// mechanically rather than by review:
+//   * awaiting a temporary Task inside a loop condition or compound
+//     subexpression (the GCC-12 coroutine-frame miscompile class), and
+//   * iteration over unordered containers feeding simulation decisions, so
+//     hash-table layout leaks into message emission order.
+//
+// The tool is deliberately token/line-level — no libclang dependency — so it
+// builds everywhere the tree builds and runs in milliseconds over the whole
+// repository. Heuristic by design: it trades exhaustiveness for zero build
+// deps and near-zero false positives on this codebase's idiom.
+//
+// Rules:
+//   R1 temporary-task-await   co_await of a temporary Task/Result call in a
+//                             loop header or compound subexpression
+//   R2 wall-clock/entropy ban system_clock / steady_clock / time() / rand()
+//                             / std::random_device outside src/common/rng.hpp
+//   R3 unordered-iteration    range-for or .begin() iteration over a
+//                             declared unordered_map/unordered_set variable
+//   R4 discarded-result       a call statement discarding a Result/Task
+//                             return without co_await, assignment, or an
+//                             annotated (void) launder
+//   R5 header-hygiene         every header: #pragma once + namespace c4h
+//
+// Suppression: `// c4h-lint: allow(R3)` on the offending line (or alone on
+// the preceding line) silences that rule there; `allow(R3,R4)` lists several.
+// Exit status is non-zero iff any unsuppressed diagnostic was emitted.
+//
+// Usage: c4h-lint [--rules=R1,R3] [--fixable] [--exclude=substr] <paths...>
+// Directory arguments are walked recursively for *.hpp/*.h/*.cpp/*.cc;
+// directories named lint_fixtures, build*, or .git are skipped (explicit
+// file arguments are always scanned).
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace c4h::lint {
+
+// ---------------------------------------------------------------------------
+// Source model
+
+struct Token {
+  enum class Kind { ident, number, punct };
+  Kind kind;
+  std::string text;
+  int line;
+};
+
+struct SourceFile {
+  std::string path;
+  std::vector<std::string> raw_lines;          // verbatim, for R5 / context
+  std::vector<Token> toks;                     // comments/strings/pp stripped
+  std::map<int, std::set<std::string>> allow;  // line -> suppressed rules
+  // Allows found on comment-only lines; they attach to the next code line
+  // once tokenization knows where the code is (explanations may span several
+  // comment lines above the statement they cover).
+  std::vector<std::pair<int, std::string>> pending_allow;
+  bool is_header = false;
+};
+
+struct Diagnostic {
+  std::string file;
+  int line;
+  std::string rule;
+  std::string message;
+  std::string hint;
+};
+
+// Parses "c4h-lint: allow(R3,R4)" occurrences out of a comment.
+static void parse_allow(const std::string& comment, int line, bool comment_only,
+                        SourceFile& f) {
+  const std::string tag = "c4h-lint: allow(";
+  std::size_t pos = 0;
+  while ((pos = comment.find(tag, pos)) != std::string::npos) {
+    pos += tag.size();
+    const std::size_t close = comment.find(')', pos);
+    if (close == std::string::npos) return;
+    std::stringstream list(comment.substr(pos, close - pos));
+    std::string rule;
+    while (std::getline(list, rule, ',')) {
+      rule.erase(std::remove_if(rule.begin(), rule.end(),
+                                [](unsigned char c) { return std::isspace(c); }),
+                 rule.end());
+      if (rule.empty()) continue;
+      f.allow[line].insert(rule);
+      // A comment on its own line covers the next line of code too (resolved
+      // after tokenization, so multi-line comment blocks work).
+      if (comment_only) f.pending_allow.emplace_back(line, rule);
+    }
+    pos = close;
+  }
+}
+
+static bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+// Strips comments, string/char literals, and preprocessor directives while
+// tokenizing; records suppression comments as it goes.
+static void tokenize(SourceFile& f) {
+  enum class St { code, line_comment, block_comment, str, chr, raw_str, pp };
+  St st = St::code;
+  std::string comment, raw_delim;
+  bool line_has_code = false;
+  int comment_line = 0;
+
+  auto flush_comment = [&](int line) {
+    if (!comment.empty()) parse_allow(comment, line, !line_has_code, f);
+    comment.clear();
+  };
+
+  for (int ln = 0; ln < static_cast<int>(f.raw_lines.size()); ++ln) {
+    const std::string& s = f.raw_lines[ln];
+    const int line = ln + 1;
+    if (st == St::line_comment) {  // terminated by the newline we just crossed
+      flush_comment(comment_line);
+      st = St::code;
+    }
+    if (st == St::pp) {  // previous directive line ended with a backslash
+      if (s.empty() || s.back() != '\\') st = St::code;
+      continue;
+    }
+    if (st == St::code) {
+      line_has_code = false;
+      // Preprocessor directive: skip the whole (possibly continued) line.
+      std::size_t first = s.find_first_not_of(" \t");
+      if (first != std::string::npos && s[first] == '#') {
+        if (!s.empty() && s.back() == '\\') st = St::pp;
+        continue;
+      }
+    }
+    for (std::size_t i = 0; i < s.size(); ++i) {
+      const char c = s[i];
+      const char n = i + 1 < s.size() ? s[i + 1] : '\0';
+      switch (st) {
+        case St::pp:
+          break;
+        case St::line_comment:
+          comment += c;
+          break;
+        case St::block_comment:
+          if (c == '*' && n == '/') {
+            ++i;
+            flush_comment(comment_line);
+            st = St::code;
+          } else {
+            comment += c;
+          }
+          break;
+        case St::str:
+          if (c == '\\') ++i;
+          else if (c == '"') st = St::code;
+          break;
+        case St::chr:
+          if (c == '\\') ++i;
+          else if (c == '\'') st = St::code;
+          break;
+        case St::raw_str:
+          if (c == ')' && s.compare(i + 1, raw_delim.size() + 1, raw_delim + "\"") == 0) {
+            i += raw_delim.size() + 1;
+            st = St::code;
+          }
+          break;
+        case St::code: {
+          if (c == '/' && n == '/') {
+            st = St::line_comment;
+            comment_line = line;
+            ++i;
+            break;
+          }
+          if (c == '/' && n == '*') {
+            st = St::block_comment;
+            comment_line = line;
+            ++i;
+            break;
+          }
+          if (c == 'R' && n == '"' &&
+              (i == 0 || !ident_char(s[i - 1]))) {  // raw string literal
+            std::size_t open = s.find('(', i + 2);
+            if (open != std::string::npos) {
+              raw_delim = s.substr(i + 2, open - (i + 2));
+              st = St::raw_str;
+              i = open;
+              line_has_code = true;
+              break;
+            }
+          }
+          if (c == '"') {
+            st = St::str;
+            line_has_code = true;
+            break;
+          }
+          if (c == '\'' && !(ident_char(c) && i > 0 && std::isdigit(static_cast<unsigned char>(s[i - 1])))) {
+            // skip digit separators like 1'000'000
+            if (i > 0 && std::isdigit(static_cast<unsigned char>(s[i - 1])) && ident_char(n)) break;
+            st = St::chr;
+            line_has_code = true;
+            break;
+          }
+          if (std::isspace(static_cast<unsigned char>(c))) break;
+          line_has_code = true;
+          if (ident_char(c) && !std::isdigit(static_cast<unsigned char>(c))) {
+            std::size_t j = i;
+            while (j < s.size() && ident_char(s[j])) ++j;
+            f.toks.push_back({Token::Kind::ident, s.substr(i, j - i), line});
+            i = j - 1;
+            break;
+          }
+          if (std::isdigit(static_cast<unsigned char>(c))) {
+            std::size_t j = i;
+            while (j < s.size() && (ident_char(s[j]) || s[j] == '.' || s[j] == '\'')) ++j;
+            f.toks.push_back({Token::Kind::number, s.substr(i, j - i), line});
+            i = j - 1;
+            break;
+          }
+          // Multi-char operators we care about keeping whole.
+          static const char* two[] = {"::", "->", "&&", "||", "==", "!=", "<=", ">="};
+          std::string t(1, c);
+          for (const char* op : two) {
+            if (c == op[0] && n == op[1]) {
+              t = op;
+              ++i;
+              break;
+            }
+          }
+          f.toks.push_back({Token::Kind::punct, t, line});
+          break;
+        }
+      }
+    }
+    if (st == St::line_comment) {
+      // comment runs to end of line; flushed at the top of the next iteration
+      continue;
+    }
+    if (st == St::str || st == St::chr) st = St::code;  // unterminated: resync
+  }
+  flush_comment(comment_line);
+
+  // Attach comment-only allows to the next line that actually holds code, so
+  // an explanation spanning several comment lines still covers its statement.
+  std::set<int> code_lines;
+  for (const Token& t : f.toks) code_lines.insert(t.line);
+  for (const auto& [line, rule] : f.pending_allow) {
+    const auto next = code_lines.upper_bound(line);
+    if (next != code_lines.end()) f.allow[*next].insert(rule);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Cross-file declaration collection
+
+struct DeclIndex {
+  std::set<std::string> unordered_names;  // vars/members of unordered type
+  std::set<std::string> result_fns;       // functions returning Result<>/Task<>
+};
+
+// Skips a balanced <...> starting at toks[i] == "<"; returns index one past
+// the closing ">", or npos if unbalanced / implausible.
+static std::size_t skip_angles(const std::vector<Token>& toks, std::size_t i) {
+  if (i >= toks.size() || toks[i].text != "<") return std::string::npos;
+  int depth = 0;
+  for (; i < toks.size(); ++i) {
+    const std::string& t = toks[i].text;
+    if (t == "<") ++depth;
+    else if (t == ">") {
+      if (--depth == 0) return i + 1;
+    } else if (t == ";" || t == "{") {
+      return std::string::npos;  // not a template argument list after all
+    }
+  }
+  return std::string::npos;
+}
+
+static void collect_decls(const SourceFile& f, DeclIndex& ix) {
+  const auto& toks = f.toks;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    const std::string& t = toks[i].text;
+    if (t == "unordered_map" || t == "unordered_set") {
+      std::size_t j = skip_angles(toks, i + 1);
+      if (j == std::string::npos) continue;
+      while (j < toks.size() && (toks[j].text == "*" || toks[j].text == "&")) ++j;
+      if (j + 1 < toks.size() && toks[j].kind == Token::Kind::ident) {
+        const std::string& nxt = toks[j + 1].text;
+        if (nxt == ";" || nxt == "=" || nxt == "{" || nxt == ",") {
+          ix.unordered_names.insert(toks[j].text);
+        }
+      }
+    } else if (t == "Result" || t == "Task") {
+      std::size_t j = skip_angles(toks, i + 1);
+      if (j == std::string::npos) {
+        // Task<> with defaulted argument: tokens are "Task" "<" ">".
+        if (i + 2 < toks.size() && toks[i + 1].text == "<" && toks[i + 2].text == ">") {
+          j = i + 3;
+        } else {
+          continue;
+        }
+      }
+      if (j + 1 < toks.size() && toks[j].kind == Token::Kind::ident &&
+          toks[j + 1].text == "(") {
+        ix.result_fns.insert(toks[j].text);
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Rules
+
+class Analyzer {
+ public:
+  Analyzer(const DeclIndex& ix, std::vector<Diagnostic>& out) : ix_(ix), out_(out) {}
+
+  void analyze(const SourceFile& f, const std::set<std::string>& enabled) {
+    if (on(enabled, "R1")) rule_r1(f);
+    if (on(enabled, "R2")) rule_r2(f);
+    if (on(enabled, "R3")) rule_r3(f);
+    if (on(enabled, "R4")) rule_r4(f);
+    if (on(enabled, "R5") && f.is_header) rule_r5(f);
+  }
+
+ private:
+  static bool on(const std::set<std::string>& enabled, const char* rule) {
+    return enabled.empty() || enabled.count(rule) > 0;
+  }
+
+  void emit(const SourceFile& f, int line, const char* rule, std::string msg,
+            std::string hint) {
+    const auto it = f.allow.find(line);
+    if (it != f.allow.end() && it->second.count(rule) > 0) return;
+    out_.push_back({f.path, line, rule, std::move(msg), std::move(hint)});
+  }
+
+  static bool is_keyword(const std::string& t) {
+    static const std::set<std::string> kw = {
+        "if",     "else",   "while",   "for",      "do",      "switch", "case",
+        "return", "co_return", "co_await", "co_yield", "break", "continue",
+        "new",    "delete", "throw",   "goto",     "using",   "typedef", "auto",
+        "void",   "const",  "static",  "constexpr", "template", "class", "struct",
+        "enum",   "namespace", "public", "private", "protected", "friend",
+        "default", "operator", "sizeof", "this", "try", "catch", "inline",
+        "explicit", "virtual", "override", "final", "extern", "mutable"};
+    return kw.count(t) > 0;
+  }
+
+  // Finds the index of the ")" matching toks[i] == "(".
+  static std::size_t match_paren(const std::vector<Token>& toks, std::size_t i) {
+    int depth = 0;
+    for (; i < toks.size(); ++i) {
+      if (toks[i].text == "(") ++depth;
+      else if (toks[i].text == ")" && --depth == 0) return i;
+    }
+    return std::string::npos;
+  }
+
+  // R1: co_await of a temporary (a call expression) inside a loop header or
+  // combined with an operator into a compound subexpression. GCC 12's
+  // coroutine frame handling has miscompiled exactly this shape, and even on
+  // correct compilers the temporary's lifetime interacts subtly with the
+  // suspension point.
+  void rule_r1(const SourceFile& f) {
+    static const std::set<std::string> ops = {"&&", "||", "==", "!=", "<",  ">",
+                                              "<=", ">=", "+",  "-",  "*",  "/",
+                                              "%",  "!",  "?"};
+    const auto& toks = f.toks;
+    std::vector<char> paren_ctx;  // 'L' loop header, 'o' other
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+      const std::string& t = toks[i].text;
+      if (t == "(") {
+        const std::string prev = i > 0 ? toks[i - 1].text : "";
+        paren_ctx.push_back(prev == "while" || prev == "for" ? 'L' : 'o');
+        continue;
+      }
+      if (t == ")") {
+        if (!paren_ctx.empty()) paren_ctx.pop_back();
+        continue;
+      }
+      if (t != "co_await") continue;
+
+      // Parse the awaited expression: ident chain, optionally a call.
+      std::size_t j = i + 1;
+      bool saw_ident = false;
+      while (j < toks.size() &&
+             (toks[j].kind == Token::Kind::ident || toks[j].text == "::" ||
+              toks[j].text == "." || toks[j].text == "->")) {
+        saw_ident = toks[j].kind == Token::Kind::ident || saw_ident;
+        ++j;
+      }
+      if (!saw_ident || j >= toks.size() || toks[j].text != "(") continue;  // named awaitable
+      const std::size_t close = match_paren(toks, j);
+      if (close == std::string::npos) continue;
+
+      const bool in_loop_header =
+          std::find(paren_ctx.begin(), paren_ctx.end(), 'L') != paren_ctx.end();
+      const std::string before = i > 0 ? toks[i - 1].text : "";
+      const std::string after = close + 1 < toks.size() ? toks[close + 1].text : "";
+      if (in_loop_header) {
+        emit(f, toks[i].line, "R1",
+             "co_await of a temporary task inside a loop header",
+             "hoist the co_await into the loop body and bind the result to a "
+             "named variable");
+      } else if (ops.count(before) > 0 || ops.count(after) > 0) {
+        emit(f, toks[i].line, "R1",
+             "co_await of a temporary task inside a compound subexpression",
+             "bind the awaited value to a named variable first, then combine");
+      }
+    }
+  }
+
+  // R2: wall-clock and ambient-entropy sources break seed-reproducibility;
+  // all time comes from Simulation::now() and all randomness from c4h::Rng.
+  void rule_r2(const SourceFile& f) {
+    if (f.path.size() >= 14 &&
+        f.path.compare(f.path.size() - 14, 14, "common/rng.hpp") == 0) {
+      return;  // the one sanctioned randomness implementation
+    }
+    static const std::set<std::string> always = {
+        "system_clock", "steady_clock", "high_resolution_clock", "random_device",
+        "mt19937", "mt19937_64", "default_random_engine", "gettimeofday"};
+    static const std::set<std::string> call_only = {"rand", "srand", "time", "clock"};
+    const auto& toks = f.toks;
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+      if (toks[i].kind != Token::Kind::ident) continue;
+      const std::string& t = toks[i].text;
+      if (always.count(t) > 0) {
+        emit(f, toks[i].line, "R2",
+             "wall-clock/entropy source '" + t + "' breaks deterministic replay",
+             "use Simulation::now() for time and c4h::Rng for randomness");
+        continue;
+      }
+      if (call_only.count(t) > 0 && i + 1 < toks.size() && toks[i + 1].text == "(") {
+        const std::string prev = i > 0 ? toks[i - 1].text : "";
+        if (prev == "." || prev == "->") continue;  // member named e.g. time()
+        emit(f, toks[i].line, "R2",
+             "call to '" + t + "()' is nondeterministic across runs",
+             "use Simulation::now() for time and c4h::Rng for randomness");
+      }
+    }
+  }
+
+  // R3: hash-table iteration order is an implementation detail; when it feeds
+  // message emission or placement decisions, the replay is only stable by
+  // accident. Iterate a sorted key list, use an ordered container, or
+  // annotate a provably order-insensitive loop.
+  void rule_r3(const SourceFile& f) {
+    const auto& toks = f.toks;
+    for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+      // Iterator form: <unordered-name> . begin (
+      if (toks[i].kind == Token::Kind::ident &&
+          ix_.unordered_names.count(toks[i].text) > 0 && toks[i + 1].text == "." &&
+          i + 2 < toks.size() && toks[i + 2].text == "begin") {
+        emit(f, toks[i].line, "R3",
+             "iterator loop over unordered container '" + toks[i].text + "'",
+             "iterate a sorted snapshot of the keys, switch to an ordered "
+             "container, or annotate with // c4h-lint: allow(R3)");
+        continue;
+      }
+      // Range-for form: for ( ... : <range-expr> )
+      if (toks[i].text != "for" || toks[i + 1].text != "(") continue;
+      const std::size_t close = match_paren(toks, i + 1);
+      if (close == std::string::npos) continue;
+      // Find the range-for ':' at paren depth 1.
+      int depth = 0;
+      std::size_t colon = std::string::npos;
+      for (std::size_t j = i + 1; j <= close; ++j) {
+        if (toks[j].text == "(") ++depth;
+        else if (toks[j].text == ")") --depth;
+        else if (toks[j].text == ":" && depth == 1) {
+          colon = j;
+          break;
+        }
+      }
+      if (colon == std::string::npos) continue;
+      // Iterating a sorted snapshot (src/common/ordered.hpp) is the
+      // sanctioned remedy; the hazard is traversing the table itself.
+      bool sanctioned = false;
+      for (std::size_t j = colon + 1; j < close; ++j) {
+        if (toks[j].text == "sorted_keys") {
+          sanctioned = true;
+          break;
+        }
+      }
+      if (sanctioned) continue;
+      // Last identifier of the range expression, unless it is a call.
+      std::size_t last = std::string::npos;
+      for (std::size_t j = colon + 1; j < close; ++j) {
+        if (toks[j].kind == Token::Kind::ident &&
+            (j + 1 >= close || toks[j + 1].text != "(")) {
+          last = j;
+        }
+      }
+      if (last == std::string::npos) continue;
+      if (ix_.unordered_names.count(toks[last].text) == 0) continue;
+      emit(f, toks[last].line, "R3",
+           "range-for over unordered container '" + toks[last].text + "'",
+           "iterate a sorted snapshot of the keys, switch to an ordered "
+           "container, or annotate with // c4h-lint: allow(R3)");
+    }
+  }
+
+  // R4: a bare `f(...);` statement where f returns Task<> silently does
+  // nothing (lazy coroutines run only when awaited or spawned); where it
+  // returns Result<> it swallows an error. Both must be awaited, assigned,
+  // or deliberately laundered with (void) plus an allow annotation.
+  void rule_r4(const SourceFile& f) {
+    // Names that collide with STL members whose discard is idiomatic.
+    static const std::set<std::string> ambiguous = {
+        "begin", "end",  "erase", "insert", "emplace", "find",    "count",
+        "at",    "clear", "size",  "empty",  "write",   "read",    "push_back",
+        "reserve", "swap"};
+    const auto& toks = f.toks;
+    bool stmt_start = true;
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+      const std::string& t = toks[i].text;
+      if (!stmt_start) {
+        stmt_start = (t == ";" || t == "{" || t == "}");
+        continue;
+      }
+      if (t == ";" || t == "{" || t == "}") continue;  // still at a boundary
+      stmt_start = false;
+
+      // Optional (void) launder prefix.
+      std::size_t j = i;
+      bool laundered = false;
+      if (toks[j].text == "(" && j + 2 < toks.size() && toks[j + 1].text == "void" &&
+          toks[j + 2].text == ")") {
+        laundered = true;
+        j += 3;
+        if (j < toks.size() && toks[j].text == "co_await") continue;  // awaited: fine
+      }
+
+      // Qualified call chain ending in <name> ( ... ) ;
+      if (j >= toks.size() || toks[j].kind != Token::Kind::ident ||
+          is_keyword(toks[j].text)) {
+        continue;
+      }
+      std::size_t name = std::string::npos;
+      while (j < toks.size()) {
+        if (toks[j].kind == Token::Kind::ident && !is_keyword(toks[j].text)) {
+          name = j;
+          ++j;
+        } else {
+          break;
+        }
+        if (j < toks.size() &&
+            (toks[j].text == "::" || toks[j].text == "." || toks[j].text == "->")) {
+          ++j;
+          continue;
+        }
+        break;
+      }
+      if (name == std::string::npos || j >= toks.size() || toks[j].text != "(") continue;
+      const std::string& callee = toks[name].text;
+      if (ix_.result_fns.count(callee) == 0 || ambiguous.count(callee) > 0) continue;
+      const std::size_t close = match_paren(toks, j);
+      if (close == std::string::npos || close + 1 >= toks.size()) continue;
+      if (toks[close + 1].text != ";") continue;  // value is consumed somehow
+      if (laundered) {
+        emit(f, toks[name].line, "R4",
+             "(void)-laundered Result/Task call '" + callee +
+                 "' lacks an allow annotation",
+             "append // c4h-lint: allow(R4) if the discard is intentional");
+      } else {
+        emit(f, toks[name].line, "R4",
+             "call to '" + callee + "' discards its Result/Task return value",
+             "co_await / Simulation::spawn it, assign it, or launder with "
+             "(void) plus // c4h-lint: allow(R4)");
+      }
+    }
+  }
+
+  // R5: header hygiene — include-guard pragma and the project namespace.
+  void rule_r5(const SourceFile& f) {
+    // File-level checks honour a file-level suppression anywhere in the file.
+    for (const auto& [line, rules] : f.allow) {
+      if (rules.count("R5") > 0) return;
+    }
+    bool pragma_once = false;
+    for (const std::string& s : f.raw_lines) {
+      if (s.find("#pragma once") != std::string::npos) {
+        pragma_once = true;
+        break;
+      }
+    }
+    if (!pragma_once) {
+      out_.push_back({f.path, 1, "R5", "header is missing #pragma once",
+                      "add #pragma once below the file comment"});
+    }
+    bool ns = false;
+    for (std::size_t i = 0; i + 1 < f.toks.size(); ++i) {
+      if (f.toks[i].text == "namespace" && f.toks[i + 1].text == "c4h") {
+        ns = true;
+        break;
+      }
+    }
+    if (!ns) {
+      out_.push_back({f.path, 1, "R5",
+                      "header does not declare anything in namespace c4h",
+                      "wrap declarations in namespace c4h (or c4h::<area>)"});
+    }
+  }
+
+  const DeclIndex& ix_;
+  std::vector<Diagnostic>& out_;
+};
+
+// ---------------------------------------------------------------------------
+// Driver
+
+struct Options {
+  std::set<std::string> rules;     // empty = all
+  std::vector<std::string> excludes;
+  bool fixable = false;
+  std::vector<std::string> paths;
+};
+
+static bool has_suffix(const std::string& s, const std::string& suf) {
+  return s.size() >= suf.size() && s.compare(s.size() - suf.size(), suf.size(), suf) == 0;
+}
+
+static bool source_like(const std::filesystem::path& p) {
+  const std::string e = p.extension().string();
+  return e == ".hpp" || e == ".h" || e == ".cpp" || e == ".cc";
+}
+
+static bool skip_dir(const std::filesystem::path& p) {
+  const std::string n = p.filename().string();
+  return n == ".git" || n == "lint_fixtures" || n.rfind("build", 0) == 0;
+}
+
+static std::vector<std::string> expand_paths(const Options& opt) {
+  namespace fs = std::filesystem;
+  std::vector<std::string> files;
+  for (const std::string& arg : opt.paths) {
+    fs::path p{arg};
+    std::error_code ec;
+    if (fs::is_directory(p, ec)) {
+      for (auto it = fs::recursive_directory_iterator(p, ec);
+           it != fs::recursive_directory_iterator(); ++it) {
+        if (it->is_directory() && skip_dir(it->path())) {
+          it.disable_recursion_pending();
+          continue;
+        }
+        if (it->is_regular_file() && source_like(it->path())) {
+          files.push_back(it->path().string());
+        }
+      }
+    } else {
+      files.push_back(arg);  // explicit files are always scanned
+    }
+  }
+  std::sort(files.begin(), files.end());
+  files.erase(std::unique(files.begin(), files.end()), files.end());
+  const auto excluded = [&](const std::string& f) {
+    for (const std::string& e : opt.excludes) {
+      if (f.find(e) != std::string::npos) return true;
+    }
+    return false;
+  };
+  files.erase(std::remove_if(files.begin(), files.end(), excluded), files.end());
+  return files;
+}
+
+static bool load(const std::string& path, SourceFile& f) {
+  std::ifstream in(path);
+  if (!in) return false;
+  f.path = path;
+  f.is_header = has_suffix(path, ".hpp") || has_suffix(path, ".h");
+  std::string line;
+  while (std::getline(in, line)) f.raw_lines.push_back(line);
+  tokenize(f);
+  return true;
+}
+
+static const char* fix_note(const std::string& rule) {
+  if (rule == "R1") return "mechanical: hoist the await into a named local";
+  if (rule == "R2") return "mechanical: thread Simulation/Rng through the call site";
+  if (rule == "R3") return "mechanical: sort keys first, or annotate allow(R3)";
+  if (rule == "R4") return "mechanical: (void)-launder + allow(R4), or handle the Result";
+  if (rule == "R5") return "mechanical: insert #pragma once / namespace c4h";
+  return "";
+}
+
+static int run(const Options& opt) {
+  const std::vector<std::string> files = expand_paths(opt);
+  if (files.empty()) {
+    std::fprintf(stderr, "c4h-lint: no source files found\n");
+    return 2;
+  }
+
+  std::vector<SourceFile> sources;
+  sources.reserve(files.size());
+  for (const std::string& p : files) {
+    SourceFile f;
+    if (!load(p, f)) {
+      std::fprintf(stderr, "c4h-lint: cannot read %s\n", p.c_str());
+      return 2;
+    }
+    sources.push_back(std::move(f));
+  }
+
+  // Pass 1: declarations from every file, so member types declared in headers
+  // inform loops written in .cpp files.
+  DeclIndex ix;
+  for (const SourceFile& f : sources) collect_decls(f, ix);
+
+  // Pass 2: diagnostics.
+  std::vector<Diagnostic> diags;
+  Analyzer an(ix, diags);
+  for (const SourceFile& f : sources) an.analyze(f, opt.rules);
+
+  std::sort(diags.begin(), diags.end(), [](const Diagnostic& a, const Diagnostic& b) {
+    if (a.file != b.file) return a.file < b.file;
+    if (a.line != b.line) return a.line < b.line;
+    return a.rule < b.rule;
+  });
+  for (const Diagnostic& d : diags) {
+    std::printf("%s:%d: [%s] %s (hint: %s)\n", d.file.c_str(), d.line, d.rule.c_str(),
+                d.message.c_str(), d.hint.c_str());
+  }
+
+  if (opt.fixable) {
+    std::map<std::string, int> per_rule;
+    for (const Diagnostic& d : diags) ++per_rule[d.rule];
+    std::printf("-- fixable summary --\n");
+    for (const auto& [rule, n] : per_rule) {
+      std::printf("%s: %d diagnostic(s) — %s\n", rule.c_str(), n, fix_note(rule));
+    }
+  }
+
+  std::printf("c4h-lint: %zu file(s) scanned, %zu unsuppressed diagnostic(s)\n",
+              files.size(), diags.size());
+  return diags.empty() ? 0 : 1;
+}
+
+}  // namespace c4h::lint
+
+int main(int argc, char** argv) {
+  c4h::lint::Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--fixable") {
+      opt.fixable = true;
+    } else if (a.rfind("--rules=", 0) == 0) {
+      std::stringstream list(a.substr(8));
+      std::string r;
+      while (std::getline(list, r, ',')) {
+        if (!r.empty()) opt.rules.insert(r);
+      }
+    } else if (a.rfind("--exclude=", 0) == 0) {
+      opt.excludes.push_back(a.substr(10));
+    } else if (a == "--help" || a == "-h") {
+      std::printf(
+          "usage: c4h-lint [--rules=R1,R2,...] [--fixable] [--exclude=substr] "
+          "<paths...>\n"
+          "rules: R1 temporary-task-await, R2 wall-clock/entropy ban,\n"
+          "       R3 unordered-iteration hazard, R4 discarded Result/Task,\n"
+          "       R5 header hygiene\n"
+          "suppress a line with: // c4h-lint: allow(R3)\n");
+      return 0;
+    } else if (!a.empty() && a[0] == '-') {
+      std::fprintf(stderr, "c4h-lint: unknown option %s\n", a.c_str());
+      return 2;
+    } else {
+      opt.paths.push_back(a);
+    }
+  }
+  if (opt.paths.empty()) {
+    std::fprintf(stderr, "c4h-lint: no paths given (try --help)\n");
+    return 2;
+  }
+  return c4h::lint::run(opt);
+}
