@@ -15,7 +15,7 @@ using sim::Task;
 
 // --- 1. Path caching ------------------------------------------------------
 
-void ablate_caching() {
+void ablate_caching(obs::BenchReport& report) {
   bench::header("Ablation 1 — metadata path caching", "DESIGN.md §6.1");
   std::printf("%10s | %16s | %14s\n", "caching", "mean get (ms)", "cache hits");
   bench::row_line();
@@ -40,12 +40,17 @@ void ablate_caching() {
     std::printf("%10s | %16.3f | %14llu\n", caching ? "on" : "off", lat.mean(),
                 static_cast<unsigned long long>(hc.kv().stats().cache_hits +
                                                 hc.kv().stats().local_hits));
+    const std::string label = caching ? "caching=on" : "caching=off";
+    report.add(label, "kv.get.mean", lat.mean(), "ms");
+    report.add(label, "kv.get.hits",
+               static_cast<double>(hc.kv().stats().cache_hits + hc.kv().stats().local_hits),
+               "count");
   }
 }
 
 // --- 2. Replication factor -------------------------------------------------
 
-void ablate_replication() {
+void ablate_replication(obs::BenchReport& report) {
   bench::header("Ablation 2 — replication factor vs failure survival", "DESIGN.md §6.2");
   std::printf("%6s | %12s | %16s\n", "R", "keys lost", "repl. messages");
   bench::row_line();
@@ -75,12 +80,16 @@ void ablate_replication() {
     }(hc));
     std::printf("%6d | %12d | %16llu\n", r, lost,
                 static_cast<unsigned long long>(hc.kv().stats().replication_msgs));
+    const std::string label = "replication=" + std::to_string(r);
+    report.add(label, "kv.keys_lost", lost, "count");
+    report.add(label, "kv.replication_msgs",
+               static_cast<double>(hc.kv().stats().replication_msgs), "count");
   }
 }
 
 // --- 3. Monitoring period ---------------------------------------------------
 
-void ablate_monitoring() {
+void ablate_monitoring(obs::BenchReport& report) {
   bench::header("Ablation 3 — monitoring period: messages vs staleness", "DESIGN.md §6.3");
   std::printf("%12s | %14s | %18s\n", "period", "messages/min", "max staleness (s)");
   bench::row_line();
@@ -96,6 +105,8 @@ void ablate_monitoring() {
         static_cast<double>(hc.network().stats().messages_sent - msgs0);
     std::printf("%10.1fs | %14.0f | %18.1f\n", to_seconds(period), per_min,
                 to_seconds(period));
+    const std::string label = "period=" + std::to_string(to_seconds(period)) + "s";
+    report.add(label, "monitor.msgs_per_min", per_min, "count");
   }
 }
 
@@ -114,7 +125,7 @@ const char* policy_name(vstore::DecisionPolicy p) {
 // dead battery; the requester is a loaded but mains-powered device.
 // performance/balanced offload to the drained netbook; battery-aware spares
 // it and stays on the plugged-in requester.
-void policy_scenario_a(vstore::DecisionPolicy policy) {
+void policy_scenario_a(vstore::DecisionPolicy policy, obs::BenchReport& report) {
   vstore::HomeCloudConfig cfg;
   cfg.netbooks = 0;
   cfg.with_desktop = false;
@@ -158,12 +169,13 @@ void policy_scenario_a(vstore::DecisionPolicy policy) {
                                                         : "peer(idle,battery 10%)";
   }(hc));
   std::printf("%4s %18s | %12.1f | %s\n", "A", policy_name(policy), took, picked.c_str());
+  report.add(std::string("A/") + policy_name(policy), "process.time", took, "s");
 }
 
 // Scenario B: requester idle, a second netbook idle, the desktop loaded.
 // performance still offloads to the (much faster) loaded desktop;
 // balanced spreads to the idle requester instead.
-void policy_scenario_b(vstore::DecisionPolicy policy) {
+void policy_scenario_b(vstore::DecisionPolicy policy, obs::BenchReport& report) {
   vstore::HomeCloudConfig cfg;
   cfg.netbooks = 2;
   cfg.start_monitors = false;
@@ -201,27 +213,28 @@ void policy_scenario_b(vstore::DecisionPolicy policy) {
                                                                : "netbook-1(idle,battery)");
   }(hc));
   std::printf("%4s %18s | %12.1f | %s\n", "B", policy_name(policy), took, picked.c_str());
+  report.add(std::string("B/") + policy_name(policy), "process.time", took, "s");
 }
 
-void ablate_policy() {
+void ablate_policy(obs::BenchReport& report) {
   bench::header("Ablation 4 — decision policies pick different sites", "DESIGN.md §6.4");
   std::printf("%4s %18s | %12s | %s\n", "", "policy", "time (s)", "picked");
   bench::row_line();
   using vstore::DecisionPolicy;
   for (const auto policy : {DecisionPolicy::performance, DecisionPolicy::balanced_utilization,
                             DecisionPolicy::battery_aware}) {
-    policy_scenario_a(policy);
+    policy_scenario_a(policy, report);
   }
   bench::row_line();
   for (const auto policy : {DecisionPolicy::performance, DecisionPolicy::balanced_utilization,
                             DecisionPolicy::battery_aware}) {
-    policy_scenario_b(policy);
+    policy_scenario_b(policy, report);
   }
 }
 
 // --- 5. Blocking vs non-blocking store --------------------------------------
 
-void ablate_blocking() {
+void ablate_blocking(obs::BenchReport& report) {
   bench::header("Ablation 5 — blocking vs non-blocking store", "DESIGN.md §6.5");
   std::printf("%10s | %16s | %16s\n", "size", "blocking (ms)", "non-block (ms)");
   bench::row_line();
@@ -248,12 +261,15 @@ void ablate_blocking() {
       }
     }(hc));
     std::printf("%8.0fMB | %16.0f | %16.0f\n", to_mib(size), t_block, t_nb);
+    const std::string label = std::to_string(size / 1_MB) + "MB";
+    report.add(label, "store.blocking", t_block, "ms");
+    report.add(label, "store.non_blocking", t_nb, "ms");
   }
 }
 
 // --- 6. Metadata layer: DHT vs centralized -----------------------------------
 
-void ablate_metadata_layer() {
+void ablate_metadata_layer(obs::BenchReport& report) {
   bench::header("Ablation 6 — metadata layer: DHT+caching vs centralized",
                 "§III-A \"alternative implementations of this layer\"");
   std::printf("%12s | %14s %14s | %s\n", "layer", "mean get (ms)", "p95 (ms)",
@@ -294,6 +310,11 @@ void ablate_metadata_layer() {
               central_ms.mean(), central_ms.percentile(95),
               static_cast<unsigned long long>(central.stats().coordinator_messages));
   std::printf("%12s | %14s %14s |   coordinator crash loses everything\n", "", "", "");
+  report.add("dht", "metadata.get.mean", dht_ms.mean(), "ms");
+  report.add("dht", "metadata.get.p95", dht_ms.percentile(95), "ms");
+  report.add("central", "metadata.get.mean", central_ms.mean(), "ms");
+  report.add("central", "metadata.get.p95", central_ms.percentile(95), "ms");
+
   std::printf("\nThe flat centralized lookup is competitive at home scale, but every\n");
   std::printf("operation funnels through one device and one failure point — why the\n");
   std::printf("paper builds on a DHT despite the extra routing machinery.\n");
@@ -303,11 +324,13 @@ void ablate_metadata_layer() {
 }  // namespace c4h
 
 int main() {
-  c4h::ablate_caching();
-  c4h::ablate_replication();
-  c4h::ablate_monitoring();
-  c4h::ablate_policy();
-  c4h::ablate_blocking();
-  c4h::ablate_metadata_layer();
+  c4h::obs::BenchReport report("ablation_design", 42);
+  c4h::ablate_caching(report);
+  c4h::ablate_replication(report);
+  c4h::ablate_monitoring(report);
+  c4h::ablate_policy(report);
+  c4h::ablate_blocking(report);
+  c4h::ablate_metadata_layer(report);
+  c4h::bench::emit(report);
   return 0;
 }

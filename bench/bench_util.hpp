@@ -1,6 +1,8 @@
-// Shared helpers for the experiment binaries: table printing and common
-// workload plumbing. Each bench regenerates one table/figure of the paper
-// and prints the same rows/series the paper reports.
+// Shared helpers for the experiment binaries: table printing, common
+// workload plumbing, and machine-readable emission. Each bench regenerates
+// one table/figure of the paper, prints the same rows/series the paper
+// reports, and writes a `BENCH_<name>.json` artifact (schema c4h-bench-v1,
+// DESIGN.md §10) for CI to archive.
 #pragma once
 
 #include <cstdio>
@@ -9,6 +11,7 @@
 
 #include "src/common/stats.hpp"
 #include "src/common/units.hpp"
+#include "src/obs/bench_emit.hpp"
 #include "src/vstore/home_cloud.hpp"
 
 namespace c4h::bench {
@@ -35,13 +38,34 @@ inline vstore::ObjectMeta make_object(const std::string& name, Bytes size,
   return m;
 }
 
-/// Store an object (create + store) from `node`; returns the outcome.
+/// Store an object (create + store) from `node`; returns the outcome. A
+/// failure names the phase that failed — a capacity error during `create`
+/// (metadata) means something very different from one during `store`
+/// (placement), and the callers' retry/diagnosis logic needs to know which.
 inline sim::Task<Result<vstore::StoreOutcome>> put_object(vstore::VStoreNode& node,
                                                           vstore::ObjectMeta meta,
-                                                          vstore::StoreOptions opts = {}) {
-  auto c = co_await node.create_object(meta);
-  if (!c.ok()) co_return c.error();
-  co_return co_await node.store_object(meta.name, opts);
+                                                          vstore::StoreOptions opts = {},
+                                                          obs::Ctx ctx = {}) {
+  auto c = co_await node.create_object(meta, ctx);
+  if (!c.ok()) {
+    co_return Error{c.error().code, "create: " + c.error().message};
+  }
+  auto s = co_await node.store_object(meta.name, opts, ctx);
+  if (!s.ok()) {
+    co_return Error{s.error().code, "store: " + s.error().message};
+  }
+  co_return s;
+}
+
+/// Writes the report next to the binary's working directory and prints the
+/// path (or the failure) so a bench run always says where its artifact went.
+inline void emit(const obs::BenchReport& report) {
+  auto written = report.write();
+  if (written.ok()) {
+    std::printf("\nartifact: %s\n", written->c_str());
+  } else {
+    std::fprintf(stderr, "artifact emission failed: %s\n", written.error().message.c_str());
+  }
 }
 
 }  // namespace c4h::bench

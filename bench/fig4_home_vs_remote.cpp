@@ -31,6 +31,9 @@ void run() {
   std::printf("%10s | %14s %14s | %14s %14s\n", "", "mean±sd", "mean±sd", "mean±sd", "mean±sd");
   bench::row_line();
 
+  obs::BenchReport report("fig4_home_vs_remote", 1000);
+  report.meta("reps", std::to_string(kReps));
+
   for (const Bytes size : sizes) {
     Cell home, remote;
     for (int rep = 0; rep < kReps; ++rep) {
@@ -74,10 +77,21 @@ void run() {
                 to_mib(size), home.store_s.mean(), home.store_s.stddev(), home.fetch_s.mean(),
                 home.fetch_s.stddev(), remote.store_s.mean(), remote.store_s.stddev(),
                 remote.fetch_s.mean(), remote.fetch_s.stddev());
+
+    const std::string label = std::to_string(size / 1_MB) + "MB";
+    report.add(label, "home.store.mean", home.store_s.mean(), "s");
+    report.add(label, "home.store.sd", home.store_s.stddev(), "s");
+    report.add(label, "home.fetch.mean", home.fetch_s.mean(), "s");
+    report.add(label, "home.fetch.sd", home.fetch_s.stddev(), "s");
+    report.add(label, "cloud.store.mean", remote.store_s.mean(), "s");
+    report.add(label, "cloud.store.sd", remote.store_s.stddev(), "s");
+    report.add(label, "cloud.fetch.mean", remote.fetch_s.mean(), "s");
+    report.add(label, "cloud.fetch.sd", remote.fetch_s.stddev(), "s");
   }
 
   std::printf("\nshape checks: cloud ≫ home at every size; cloud variability ≫ home;\n");
   std::printf("cloud store (thin uplink) slower than cloud fetch.\n");
+  bench::emit(report);
 }
 
 }  // namespace

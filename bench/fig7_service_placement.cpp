@@ -87,6 +87,8 @@ void run() {
               "decision engine");
   bench::row_line();
 
+  obs::BenchReport report("fig7_service_placement", 42);
+
   for (const Bytes size : {256_KB, 512_KB, 1_MB, 2_MB}) {
     Rig rig;
     auto fdet = services::face_detect_profile();
@@ -122,12 +124,20 @@ void run() {
 
     std::printf("%6.2fMB | %10.2f %10.2f %10.2f | picked %s (%.2f s)\n", to_mib(size), t_s1,
                 t_s2, t_s3, chosen.c_str(), t_auto);
+
+    const std::string label = std::to_string(size / 1_KB) + "KB";
+    report.add(label, "pipeline.s1", t_s1, "s");
+    report.add(label, "pipeline.s2", t_s2, "s");
+    report.add(label, "pipeline.s3_ec2", t_s3, "s");
+    report.add(label, "pipeline.auto", t_auto, "s");
+    report.meta("picked_" + label, chosen);
   }
 
   std::printf("\nshape checks: S1 best for the smallest images (no movement); S2 takes\n");
   std::printf("over as compute dominates; at 2 MB the 128 MB VM thrashes on FRec and\n");
   std::printf("S3 wins despite WAN movement. The decision engine should track the\n");
   std::printf("winning column.\n");
+  bench::emit(report);
 }
 
 }  // namespace

@@ -22,6 +22,8 @@ void run() {
               "decision cost incl. in T_opt");
   bench::row_line();
 
+  obs::BenchReport report("fig8_dynamic_routing", 42);
+
   for (const Bytes size : {10_MB, 20_MB, 40_MB, 80_MB}) {
     vstore::HomeCloudConfig cfg;
     cfg.netbooks = 3;
@@ -67,10 +69,18 @@ void run() {
 
     std::printf("%6.0fMB | %12.1f %12.1f | %9.2fx | %.3f s → %s\n", to_mib(size), t_own, t_opt,
                 t_own / t_opt, t_dec, picked.c_str());
+
+    const std::string label = std::to_string(size / 1_MB) + "MB";
+    report.add(label, "route.t_own", t_own, "s");
+    report.add(label, "route.t_opt", t_opt, "s");
+    report.add(label, "route.speedup", t_opt > 0 ? t_own / t_opt : 0.0, "x");
+    report.add(label, "route.decision", t_dec, "s");
+    report.meta("picked_" + label, picked);
   }
 
   std::printf("\nshape checks: T_opt < T_own at every size; discovery picks the desktop;\n");
   std::printf("the gain grows with video size while the decision cost stays constant.\n");
+  bench::emit(report);
 }
 
 }  // namespace

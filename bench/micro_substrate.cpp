@@ -1,7 +1,13 @@
 // Substrate microbenchmarks (google-benchmark): the building blocks whose
 // costs underlie every experiment — hashing, the red-black tree, the
 // serializer, the fair-share solver, overlay routing, and the event engine.
+//
+// Besides the console table, the run writes BENCH_micro_substrate.json
+// (schema c4h-bench-v1) with one point per benchmark. These are wall-clock
+// timings — the one artifact whose values legitimately vary run-to-run.
 #include <benchmark/benchmark.h>
+
+#include <cstdio>
 
 #include "src/common/rbtree.hpp"
 #include "src/common/rng.hpp"
@@ -9,6 +15,7 @@
 #include "src/common/sha1.hpp"
 #include "src/mon/monitor.hpp"
 #include "src/net/fairshare.hpp"
+#include "src/obs/bench_emit.hpp"
 #include "src/overlay/chimera_node.hpp"
 #include "src/sim/simulation.hpp"
 
@@ -119,7 +126,42 @@ void BM_EventEngineChurn(benchmark::State& state) {
 }
 BENCHMARK(BM_EventEngineChurn);
 
+// Console output as usual, plus every run collected for the JSON artifact.
+class CollectingReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    ConsoleReporter::ReportRuns(runs);
+    for (const Run& r : runs) {
+      if (r.error_occurred) continue;
+      report_->add(r.benchmark_name(), "time.real", r.GetAdjustedRealTime(),
+                   benchmark::GetTimeUnitString(r.time_unit));
+      if (r.counters.find("bytes_per_second") != r.counters.end()) {
+        report_->add(r.benchmark_name(), "throughput",
+                     r.counters.at("bytes_per_second") / (1024.0 * 1024.0), "MiB/s");
+      }
+    }
+  }
+
+  obs::BenchReport* report_ = nullptr;
+};
+
 }  // namespace
 }  // namespace c4h
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  c4h::obs::BenchReport report("micro_substrate", 0);
+  report.meta("timing", "wall-clock");
+  c4h::CollectingReporter reporter;
+  reporter.report_ = &report;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  auto written = report.write();
+  if (written.ok()) {
+    std::printf("artifact: %s\n", written->c_str());
+  } else {
+    std::fprintf(stderr, "artifact emission failed: %s\n", written.error().message.c_str());
+  }
+  return 0;
+}

@@ -14,7 +14,7 @@ namespace {
 
 using sim::Task;
 
-void overlay_scaling() {
+void overlay_scaling(obs::BenchReport& report) {
   bench::header("Scaling — overlay size vs routing cost", "§VII future work (iii)");
   std::printf("%8s | %10s %10s | %14s | %16s\n", "nodes", "avg hops", "max hops",
               "lookup (ms)", "join msgs/node");
@@ -52,13 +52,19 @@ void overlay_scaling() {
     const double join_msgs = static_cast<double>(hc.overlay().stats().join_messages) / n;
     std::printf("%8d | %10.2f %10.0f | %14.2f | %16.1f\n", n, hops.mean(), hops.max(),
                 lookup_ms.mean(), join_msgs);
+
+    const std::string label = std::to_string(n) + "nodes";
+    report.add(label, "overlay.hops.mean", hops.mean(), "hops");
+    report.add(label, "overlay.hops.max", hops.max(), "hops");
+    report.add(label, "overlay.lookup.mean", lookup_ms.mean(), "ms");
+    report.add(label, "overlay.join_msgs_per_node", join_msgs, "count");
   }
   std::printf("\nshape checks: hop count grows slowly (prefix routing), lookup cost\n");
   std::printf("stays in the milliseconds; join traffic per node grows with density\n");
   std::printf("(the full-membership announcements the paper flags as future work).\n");
 }
 
-void striped_transfers() {
+void striped_transfers(obs::BenchReport& report) {
   bench::header("Scaling — striped cloud transfers", "§VII 'better object transfer protocols'");
   std::printf("%8s | %12s %12s %12s | %s\n", "object", "1 stream", "2 streams", "4 streams",
               "speedup(4)");
@@ -92,6 +98,11 @@ void striped_transfers() {
     }
     std::printf("%6.0fMB | %12.1f %12.1f %12.1f | %9.2fx\n", to_mib(size), times[0], times[1],
                 times[2], times[0] / times[2]);
+
+    const std::string label = std::to_string(size / 1_MB) + "MB";
+    report.add(label, "striped.1stream", times[0], "s");
+    report.add(label, "striped.2streams", times[1], "s");
+    report.add(label, "striped.4streams", times[2], "s");
   }
   std::printf("\nshape checks: striping approaches the link rate as streams x window\n");
   std::printf("exceeds it; gains saturate once the access link binds.\n");
@@ -101,7 +112,9 @@ void striped_transfers() {
 }  // namespace c4h
 
 int main() {
-  c4h::overlay_scaling();
-  c4h::striped_transfers();
+  c4h::obs::BenchReport report("scaling_study", 42);
+  c4h::overlay_scaling(report);
+  c4h::striped_transfers(report);
+  c4h::bench::emit(report);
   return 0;
 }

@@ -142,6 +142,13 @@ void run() {
   std::printf("%22s | %10.1f | %8d\n", "(iii) split home+EC2", t_split, 98);
   std::printf("\nshape check: home > EC2 > split — joint usage of home and remote\n");
   std::printf("resources beats either alone.\n");
+
+  obs::BenchReport report("split_processing", 42);
+  report.meta("images", std::to_string(kImages));
+  report.add("home_only", "sequence.time", t_home, "s");
+  report.add("ec2_only", "sequence.time", t_cloud, "s");
+  report.add("split", "sequence.time", t_split, "s");
+  bench::emit(report);
 }
 
 }  // namespace

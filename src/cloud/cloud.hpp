@@ -15,6 +15,7 @@
 #include "src/common/result.hpp"
 #include "src/net/network.hpp"
 #include "src/net/tcp_model.hpp"
+#include "src/obs/trace.hpp"
 #include "src/vmm/machine.hpp"
 
 namespace c4h::cloud {
@@ -59,12 +60,14 @@ class S3Store {
   }
 
   /// Uploads `size` bytes from `from` (a home node's network endpoint).
-  sim::Task<Result<void>> put(net::NetNodeId from, const std::string& url, Bytes size);
+  /// A non-null `ctx` records an `s3.put` span over the WAN transfer.
+  sim::Task<Result<void>> put(net::NetNodeId from, const std::string& url, Bytes size,
+                              obs::Ctx ctx = {});
 
   /// Downloads the object to `to`; returns its size.
-  sim::Task<Result<Bytes>> get(net::NetNodeId to, const std::string& url);
+  sim::Task<Result<Bytes>> get(net::NetNodeId to, const std::string& url, obs::Ctx ctx = {});
 
-  sim::Task<Result<void>> erase(net::NetNodeId from, const std::string& url);
+  sim::Task<Result<void>> erase(net::NetNodeId from, const std::string& url, obs::Ctx ctx = {});
 
   bool exists(const std::string& url) const { return objects_.contains(url); }
   std::size_t object_count() const { return objects_.size(); }

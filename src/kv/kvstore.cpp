@@ -61,14 +61,17 @@ std::size_t KvStore::under_replicated() {
 }
 
 sim::Task<Result<void>> KvStore::put(ChimeraNode& origin, Key key, Buffer value,
-                                     OverwritePolicy policy) {
+                                     OverwritePolicy policy, obs::Ctx ctx) {
   ++stats_.puts;
+  if (m_puts_ != nullptr) m_puts_->add();
   auto& sim = overlay_.simulation();
+  const TimePoint started = sim.now();
+  obs::ScopedSpan sp(ctx, "kv.put");
   co_await sim.delay(config_.chimera_ipc);  // hand the request to Chimera
 
   Result<void> res = Error{Errc::unavailable, "not attempted"};
   for (int attempt = 1;; ++attempt) {
-    res = co_await put_attempt(origin, key, value, policy);
+    res = co_await put_attempt(origin, key, value, policy, sp.ctx());
     if (res.ok() || !RetryPolicy::transient(res.code())) break;
     if (attempt >= config_.retry.max_attempts) {
       ++stats_.op_failures;
@@ -78,15 +81,19 @@ sim::Task<Result<void>> KvStore::put(ChimeraNode& origin, Key key, Buffer value,
     co_await sim.delay(config_.retry.backoff(attempt, rng_));
   }
   co_await sim.delay(config_.chimera_ipc);  // reply crosses back over IPC
+  if (!res.ok()) sp.set_error(res.error().message);
+  if (m_put_lat_ != nullptr) {
+    m_put_lat_->record(static_cast<std::uint64_t>((sim.now() - started).count()));
+  }
   co_return res;
 }
 
 sim::Task<Result<void>> KvStore::put_attempt(ChimeraNode& origin, Key key, const Buffer& value,
-                                             OverwritePolicy policy) {
+                                             OverwritePolicy policy, obs::Ctx ctx) {
   auto& sim = overlay_.simulation();
   auto& net = overlay_.network();
 
-  auto routed = co_await overlay_.route(origin, key);
+  auto routed = co_await overlay_.route(origin, key, {}, ctx);
   if (!routed.ok()) co_return routed.error();
   ChimeraNode* owner = overlay_.node_by_key(routed->owner);
   if (owner == nullptr || !owner->online()) co_return Error{Errc::unavailable, "owner offline"};
@@ -96,7 +103,7 @@ sim::Task<Result<void>> KvStore::put_attempt(ChimeraNode& origin, Key key, const
   // in flight — surfaces before the value is applied, so resending is safe.
   if (owner != &origin) {
     const bool delivered = co_await net.try_send_message(
-        origin.net_node(), owner->net_node(), config_.message_overhead + value.size());
+        origin.net_node(), owner->net_node(), config_.message_overhead + value.size(), ctx);
     if (!delivered) {
       ++stats_.send_timeouts;
       co_return Error{Errc::timeout, "put request lost"};
@@ -110,7 +117,9 @@ sim::Task<Result<void>> KvStore::put_attempt(ChimeraNode& origin, Key key, const
   switch (policy) {
     case OverwritePolicy::error:
       if (it != store.primary.end()) {
-        if (owner != &origin) co_await net.send_message(owner->net_node(), origin.net_node());
+        if (owner != &origin) {
+          co_await net.send_message(owner->net_node(), origin.net_node(), 50, ctx);
+        }
         co_return Error{Errc::already_exists, "key exists and policy is error"};
       }
       store.primary[key].versions = {value};
@@ -148,14 +157,18 @@ sim::Task<Result<void>> KvStore::put_attempt(ChimeraNode& origin, Key key, const
   }
 
   if (owner != &origin) {
-    co_await net.send_message(owner->net_node(), origin.net_node());  // ack
+    co_await net.send_message(owner->net_node(), origin.net_node(), 50, ctx);  // ack
   }
   co_return Result<void>{};
 }
 
-sim::Task<Result<std::vector<Buffer>>> KvStore::get_all(ChimeraNode& origin, Key key) {
+sim::Task<Result<std::vector<Buffer>>> KvStore::get_all(ChimeraNode& origin, Key key,
+                                                        obs::Ctx ctx) {
   ++stats_.gets;
+  if (m_gets_ != nullptr) m_gets_->add();
   auto& sim = overlay_.simulation();
+  const TimePoint started = sim.now();
+  obs::ScopedSpan sp(ctx, "kv.get");
   co_await sim.delay(config_.chimera_ipc);
 
   // Local fast path: authoritative copy or cache on the origin. Replicas are
@@ -167,22 +180,31 @@ sim::Task<Result<std::vector<Buffer>>> KvStore::get_all(ChimeraNode& origin, Key
     const auto pit = mine.primary.find(key);
     if (pit != mine.primary.end()) {
       ++stats_.local_hits;
+      sp.attr("source", "local");
       co_await sim.delay(config_.local_access + config_.chimera_ipc);
+      if (m_get_lat_ != nullptr) {
+        m_get_lat_->record(static_cast<std::uint64_t>((sim.now() - started).count()));
+      }
       co_return pit->second.versions;
     }
     if (config_.path_caching) {
       const auto cit = mine.cache.find(key);
       if (cit != mine.cache.end()) {
         ++stats_.local_hits;
+        sp.attr("source", "cache");
         co_await sim.delay(config_.local_access + config_.chimera_ipc);
+        if (m_get_lat_ != nullptr) {
+          m_get_lat_->record(static_cast<std::uint64_t>((sim.now() - started).count()));
+        }
         co_return cit->second;
       }
     }
   }
 
+  sp.attr("source", "routed");
   Result<std::vector<Buffer>> res = Error{Errc::unavailable, "not attempted"};
   for (int attempt = 1;; ++attempt) {
-    res = co_await get_routed(origin, key);
+    res = co_await get_routed(origin, key, sp.ctx());
     if (res.ok() || !RetryPolicy::transient(res.code())) break;
     if (attempt >= config_.retry.max_attempts) {
       ++stats_.op_failures;
@@ -192,10 +214,15 @@ sim::Task<Result<std::vector<Buffer>>> KvStore::get_all(ChimeraNode& origin, Key
     co_await sim.delay(config_.retry.backoff(attempt, rng_));
   }
   co_await sim.delay(config_.chimera_ipc);
+  if (!res.ok()) sp.set_error(res.error().message);
+  if (m_get_lat_ != nullptr) {
+    m_get_lat_->record(static_cast<std::uint64_t>((sim.now() - started).count()));
+  }
   co_return res;
 }
 
-sim::Task<Result<std::vector<Buffer>>> KvStore::get_routed(ChimeraNode& origin, Key key) {
+sim::Task<Result<std::vector<Buffer>>> KvStore::get_routed(ChimeraNode& origin, Key key,
+                                                           obs::Ctx ctx) {
   auto& sim = overlay_.simulation();
   auto& net = overlay_.network();
 
@@ -207,7 +234,7 @@ sim::Task<Result<std::vector<Buffer>>> KvStore::get_routed(ChimeraNode& origin, 
       return sit != stores_.end() && sit->second.cache.contains(key);
     };
   }
-  auto routed = co_await overlay_.route(origin, key, stop);
+  auto routed = co_await overlay_.route(origin, key, stop, ctx);
   if (!routed.ok()) co_return routed.error();
   ChimeraNode* holder = overlay_.node_by_key(routed->owner);
   if (holder == nullptr || !holder->online()) co_return Error{Errc::unavailable, "holder offline"};
@@ -229,7 +256,9 @@ sim::Task<Result<std::vector<Buffer>>> KvStore::get_routed(ChimeraNode& origin, 
 
   co_await sim.delay(config_.local_access);
   if (versions == nullptr) {
-    if (holder != &origin) co_await net.send_message(holder->net_node(), origin.net_node());
+    if (holder != &origin) {
+      co_await net.send_message(holder->net_node(), origin.net_node(), 50, ctx);
+    }
     co_return Error{Errc::not_found, "no value for key"};
   }
 
@@ -238,8 +267,8 @@ sim::Task<Result<std::vector<Buffer>>> KvStore::get_routed(ChimeraNode& origin, 
   // idempotent).
   std::vector<Buffer> result = *versions;
   if (holder != &origin) {
-    const bool delivered =
-        co_await net.try_send_message(holder->net_node(), origin.net_node(), value_bytes(result));
+    const bool delivered = co_await net.try_send_message(holder->net_node(), origin.net_node(),
+                                                         value_bytes(result), ctx);
     if (!delivered) {
       ++stats_.send_timeouts;
       co_return Error{Errc::timeout, "read reply lost"};
@@ -274,20 +303,22 @@ sim::Task<Result<std::vector<Buffer>>> KvStore::get_routed(ChimeraNode& origin, 
   co_return result;
 }
 
-sim::Task<Result<Buffer>> KvStore::get(ChimeraNode& origin, Key key) {
-  auto all = co_await get_all(origin, key);
+sim::Task<Result<Buffer>> KvStore::get(ChimeraNode& origin, Key key, obs::Ctx ctx) {
+  auto all = co_await get_all(origin, key, ctx);
   if (!all.ok()) co_return all.error();
   if (all->empty()) co_return Error{Errc::not_found, "empty entry"};
   co_return all->back();
 }
 
-sim::Task<Result<void>> KvStore::erase(ChimeraNode& origin, Key key) {
+sim::Task<Result<void>> KvStore::erase(ChimeraNode& origin, Key key, obs::Ctx ctx) {
   ++stats_.erases;
+  if (m_erases_ != nullptr) m_erases_->add();
   auto& sim = overlay_.simulation();
+  obs::ScopedSpan sp(ctx, "kv.erase");
 
   Result<void> res = Error{Errc::unavailable, "not attempted"};
   for (int attempt = 1;; ++attempt) {
-    res = co_await erase_attempt(origin, key);
+    res = co_await erase_attempt(origin, key, sp.ctx());
     if (res.ok() || !RetryPolicy::transient(res.code())) break;
     if (attempt >= config_.retry.max_attempts) {
       ++stats_.op_failures;
@@ -296,19 +327,21 @@ sim::Task<Result<void>> KvStore::erase(ChimeraNode& origin, Key key) {
     ++stats_.op_retries;
     co_await sim.delay(config_.retry.backoff(attempt, rng_));
   }
+  if (!res.ok()) sp.set_error(res.error().message);
   co_return res;
 }
 
-sim::Task<Result<void>> KvStore::erase_attempt(ChimeraNode& origin, Key key) {
+sim::Task<Result<void>> KvStore::erase_attempt(ChimeraNode& origin, Key key, obs::Ctx ctx) {
   auto& sim = overlay_.simulation();
   auto& net = overlay_.network();
 
-  auto routed = co_await overlay_.route(origin, key);
+  auto routed = co_await overlay_.route(origin, key, {}, ctx);
   if (!routed.ok()) co_return routed.error();
   ChimeraNode* owner = overlay_.node_by_key(routed->owner);
   if (owner == nullptr || !owner->online()) co_return Error{Errc::unavailable, "owner offline"};
   if (owner != &origin) {
-    const bool delivered = co_await net.try_send_message(origin.net_node(), owner->net_node());
+    const bool delivered =
+        co_await net.try_send_message(origin.net_node(), owner->net_node(), 50, ctx);
     if (!delivered) {
       ++stats_.send_timeouts;
       co_return Error{Errc::timeout, "erase request lost"};
@@ -320,7 +353,9 @@ sim::Task<Result<void>> KvStore::erase_attempt(ChimeraNode& origin, Key key) {
   NodeStore& store = stores_[owner->id()];
   const auto it = store.primary.find(key);
   if (it == store.primary.end()) {
-    if (owner != &origin) co_await net.send_message(owner->net_node(), origin.net_node());
+    if (owner != &origin) {
+      co_await net.send_message(owner->net_node(), origin.net_node(), 50, ctx);
+    }
     co_return Error{Errc::not_found, "no value for key"};
   }
 
@@ -334,7 +369,7 @@ sim::Task<Result<void>> KvStore::erase_attempt(ChimeraNode& origin, Key key) {
   }
   store.primary.erase(key);
 
-  if (owner != &origin) co_await net.send_message(owner->net_node(), origin.net_node());
+  if (owner != &origin) co_await net.send_message(owner->net_node(), origin.net_node(), 50, ctx);
   co_return Result<void>{};
 }
 
@@ -698,6 +733,22 @@ bool KvStore::has_cache(Key node, Key key) const {
 bool KvStore::has_replica(Key node, Key key) const {
   const auto it = stores_.find(node);
   return it != stores_.end() && it->second.replica.contains(key);
+}
+
+void KvStore::set_metrics(obs::Registry* registry) {
+  if (registry == nullptr) {
+    m_puts_ = nullptr;
+    m_gets_ = nullptr;
+    m_erases_ = nullptr;
+    m_put_lat_ = nullptr;
+    m_get_lat_ = nullptr;
+    return;
+  }
+  m_puts_ = &registry->counter("c4h.kv.put.count");
+  m_gets_ = &registry->counter("c4h.kv.get.count");
+  m_erases_ = &registry->counter("c4h.kv.erase.count");
+  m_put_lat_ = &registry->histogram("c4h.kv.put.latency_ns");
+  m_get_lat_ = &registry->histogram("c4h.kv.get.latency_ns");
 }
 
 }  // namespace c4h::kv

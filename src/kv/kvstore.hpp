@@ -28,6 +28,8 @@
 #include "src/common/result.hpp"
 #include "src/common/retry.hpp"
 #include "src/common/serial.hpp"
+#include "src/obs/metrics.hpp"
+#include "src/obs/trace.hpp"
 #include "src/overlay/overlay.hpp"
 
 namespace c4h::kv {
@@ -81,17 +83,22 @@ class KvStore {
   /// completes after the owner's acknowledgement (the paper's blocking store
   /// pays exactly this extra ack). Transient failures are retried with
   /// backoff; a lost request is detected by the sender's timeout and is safe
-  /// to resend (the value was never applied).
+  /// to resend (the value was never applied). A non-null `ctx` records a
+  /// `kv.put` span whose children are the DHT route and transfer messages.
   [[nodiscard]] sim::Task<Result<void>> put(overlay::ChimeraNode& origin, Key key, Buffer value,
-                              OverwritePolicy policy = OverwritePolicy::overwrite);
+                              OverwritePolicy policy = OverwritePolicy::overwrite,
+                              obs::Ctx ctx = {});
 
   /// Latest version of the value for `key`.
-  [[nodiscard]] sim::Task<Result<Buffer>> get(overlay::ChimeraNode& origin, Key key);
+  [[nodiscard]] sim::Task<Result<Buffer>> get(overlay::ChimeraNode& origin, Key key,
+                                              obs::Ctx ctx = {});
 
   /// All chained versions, oldest first.
-  [[nodiscard]] sim::Task<Result<std::vector<Buffer>>> get_all(overlay::ChimeraNode& origin, Key key);
+  [[nodiscard]] sim::Task<Result<std::vector<Buffer>>> get_all(overlay::ChimeraNode& origin, Key key,
+                                                               obs::Ctx ctx = {});
 
-  [[nodiscard]] sim::Task<Result<void>> erase(overlay::ChimeraNode& origin, Key key);
+  [[nodiscard]] sim::Task<Result<void>> erase(overlay::ChimeraNode& origin, Key key,
+                                              obs::Ctx ctx = {});
 
   const KvStats& stats() const { return stats_; }
   const KvConfig& config() const { return config_; }
@@ -112,6 +119,11 @@ class KvStore {
   /// churn has settled and repair/re-replication have run — the invariant
   /// the chaos suite asserts.
   std::size_t under_replicated();
+
+  /// Mirrors operation counts and latencies into a metrics registry
+  /// (c4h.kv.{put,get,erase}.count, c4h.kv.{put,get}.latency_ns).
+  /// Pass nullptr to detach.
+  void set_metrics(obs::Registry* registry);
 
  private:
   struct Entry {
@@ -138,9 +150,10 @@ class KvStore {
   };
 
   sim::Task<Result<void>> put_attempt(overlay::ChimeraNode& origin, Key key,
-                                      const Buffer& value, OverwritePolicy policy);
-  sim::Task<Result<std::vector<Buffer>>> get_routed(overlay::ChimeraNode& origin, Key key);
-  sim::Task<Result<void>> erase_attempt(overlay::ChimeraNode& origin, Key key);
+                                      const Buffer& value, OverwritePolicy policy, obs::Ctx ctx);
+  sim::Task<Result<std::vector<Buffer>>> get_routed(overlay::ChimeraNode& origin, Key key,
+                                                    obs::Ctx ctx);
+  sim::Task<Result<void>> erase_attempt(overlay::ChimeraNode& origin, Key key, obs::Ctx ctx);
   sim::Task<> replicate(overlay::ChimeraNode& owner, Key key);
   sim::Task<> refresh_caches(overlay::ChimeraNode& owner, Key key);
   sim::Task<> redistribute_on_leave(overlay::ChimeraNode& leaver);
@@ -160,6 +173,11 @@ class KvStore {
   Rng rng_;  // backoff jitter; forked from the simulation seed
   std::unordered_map<Key, NodeStore> stores_;  // per overlay node
   KvStats stats_;
+  obs::Counter* m_puts_ = nullptr;         // registered via set_metrics()
+  obs::Counter* m_gets_ = nullptr;
+  obs::Counter* m_erases_ = nullptr;
+  obs::LogHistogram* m_put_lat_ = nullptr;
+  obs::LogHistogram* m_get_lat_ = nullptr;
 };
 
 }  // namespace c4h::kv

@@ -91,8 +91,8 @@ void ResourceMonitor::start() {
 }
 
 sim::Task<Result<ResourceRecord>> fetch_record(kv::KvStore& kv, overlay::ChimeraNode& origin,
-                                               Key node) {
-  auto raw = co_await kv.get(origin, node);
+                                               Key node, obs::Ctx ctx) {
+  auto raw = co_await kv.get(origin, node, ctx);
   if (!raw.ok()) co_return raw.error();
   co_return ResourceRecord::deserialize(*raw);
 }

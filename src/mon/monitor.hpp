@@ -80,8 +80,9 @@ class ResourceMonitor {
   std::uint64_t updates_ = 0;
 };
 
-/// Reads another node's most recent record from the KV store.
+/// Reads another node's most recent record from the KV store. A non-null
+/// `ctx` attributes the underlying `kv.get` to the caller's span.
 [[nodiscard]] sim::Task<Result<ResourceRecord>> fetch_record(kv::KvStore& kv, overlay::ChimeraNode& origin,
-                                               Key node);
+                                               Key node, obs::Ctx ctx = {});
 
 }  // namespace c4h::mon

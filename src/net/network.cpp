@@ -10,8 +10,15 @@ namespace {
 constexpr double kByteEps = 0.5;  // flows within half a byte of done are done
 }
 
-sim::Task<> Network::transfer(NetNodeId src, NetNodeId dst, Bytes size, TcpProfile profile) {
+sim::Task<> Network::transfer(NetNodeId src, NetNodeId dst, Bytes size, TcpProfile profile,
+                              obs::Ctx ctx) {
   ++stats_.flows_started;
+  if (m_flows_ != nullptr) {
+    m_flows_->add();
+    m_flow_bytes_->add(size);
+  }
+  obs::ScopedSpan sp(ctx, "net.transfer");
+  sp.attr("bytes", static_cast<std::uint64_t>(size));
   // Connection setup: handshake plus one-way path latency before data flows.
   const Duration setup = profile.handshake + sample_message_latency(src, dst, 0);
   co_await sim_.delay(setup);
@@ -31,11 +38,14 @@ sim::Task<> Network::transfer(NetNodeId src, NetNodeId dst, Bytes size, TcpProfi
 }
 
 sim::Task<> Network::transfer_striped(NetNodeId src, NetNodeId dst, Bytes size,
-                                      TcpProfile profile, int streams) {
+                                      TcpProfile profile, int streams, obs::Ctx ctx) {
   if (streams <= 1 || size == 0) {
-    co_await transfer(src, dst, size, profile);
+    co_await transfer(src, dst, size, profile, ctx);
     co_return;
   }
+  obs::ScopedSpan sp(ctx, "net.transfer_striped");
+  sp.attr("bytes", static_cast<std::uint64_t>(size));
+  sp.attr("streams", static_cast<std::uint64_t>(streams));
   const auto n = static_cast<Bytes>(streams);
   const Bytes base = size / n;
   std::vector<sim::Task<>> stripes;
@@ -45,30 +55,35 @@ sim::Task<> Network::transfer_striped(NetNodeId src, NetNodeId dst, Bytes size,
     // Each stripe restarts slow start and is policed independently: the
     // per-flow phase thresholds apply to the (smaller) stripe, which is
     // precisely why striping helps window/policing-limited paths.
-    stripes.push_back(transfer(src, dst, stripe, profile));
+    stripes.push_back(transfer(src, dst, stripe, profile, sp.ctx()));
   }
   sim::Simulation& s = sim_;
   co_await sim::when_all(s, std::move(stripes));
 }
 
-sim::Task<> Network::send_message(NetNodeId src, NetNodeId dst, Bytes size) {
+sim::Task<> Network::send_message(NetNodeId src, NetNodeId dst, Bytes size, obs::Ctx ctx) {
   // (await in a declaration, not the loop condition: GCC 12 miscompiles
   // co_await of a temporary task inside a loop condition)
   for (;;) {
-    const bool delivered = co_await try_send_message(src, dst, size);
+    const bool delivered = co_await try_send_message(src, dst, size, ctx);
     if (delivered) co_return;
     ++stats_.retransmits;
   }
 }
 
-sim::Task<bool> Network::try_send_message(NetNodeId src, NetNodeId dst, Bytes size) {
+sim::Task<bool> Network::try_send_message(NetNodeId src, NetNodeId dst, Bytes size,
+                                          obs::Ctx ctx) {
   ++stats_.messages_sent;
+  if (m_msgs_ != nullptr) m_msgs_->add();
+  obs::ScopedSpan sp(ctx, "net.msg");
+  sp.attr("bytes", static_cast<std::uint64_t>(size));
   Duration lat = sample_message_latency(src, dst, size);
   if (sim::FaultPlan* fp = sim_.fault(); fp != nullptr && src != dst) {
     const sim::MessageFault f = fp->message_fault();
     if (f.drop) {
       // The message dies in flight; the sender only learns from its
       // retransmit timer.
+      sp.set_error("dropped");
       co_await sim_.delay(fp->spec().loss_detection);
       co_return false;
     }
@@ -77,6 +92,18 @@ sim::Task<bool> Network::try_send_message(NetNodeId src, NetNodeId dst, Bytes si
   }
   co_await sim_.delay(lat);
   co_return true;
+}
+
+void Network::set_metrics(obs::Registry* registry) {
+  if (registry == nullptr) {
+    m_msgs_ = nullptr;
+    m_flows_ = nullptr;
+    m_flow_bytes_ = nullptr;
+    return;
+  }
+  m_msgs_ = &registry->counter("c4h.net.msg.count");
+  m_flows_ = &registry->counter("c4h.net.flow.count");
+  m_flow_bytes_ = &registry->counter("c4h.net.flow.bytes");
 }
 
 Duration Network::sample_message_latency(NetNodeId src, NetNodeId dst, Bytes size) {

@@ -19,6 +19,8 @@
 #include "src/common/log.hpp"
 #include "src/common/rng.hpp"
 #include "src/net/fairshare.hpp"
+#include "src/obs/metrics.hpp"
+#include "src/obs/trace.hpp"
 #include "src/net/tcp_model.hpp"
 #include "src/net/topology.hpp"
 #include "src/sim/simulation.hpp"
@@ -46,7 +48,9 @@ class Network {
 
   /// Transfers `size` bytes from `src` to `dst`; completes when the last
   /// byte is delivered. Loopback (src == dst) costs only the handshake.
-  [[nodiscard]] sim::Task<> transfer(NetNodeId src, NetNodeId dst, Bytes size, TcpProfile profile = {});
+  /// A non-null `ctx` records the segment as a `net.transfer` span.
+  [[nodiscard]] sim::Task<> transfer(NetNodeId src, NetNodeId dst, Bytes size, TcpProfile profile = {},
+                                     obs::Ctx ctx = {});
 
   /// Striped transfer: splits the object across `streams` parallel
   /// connections and completes when the last byte of the last stripe
@@ -54,19 +58,21 @@ class Network {
   /// gain up to streams× until the link itself saturates — the paper's
   /// future-work "better object transfer protocols" (§VII).
   [[nodiscard]] sim::Task<> transfer_striped(NetNodeId src, NetNodeId dst, Bytes size, TcpProfile profile,
-                               int streams);
+                               int streams, obs::Ctx ctx = {});
 
   /// Sends a small control message: path latency (with jitter) plus a fixed
   /// per-hop processing cost; no bandwidth is booked. Reliable: when a fault
   /// plan drops the message, the sender retransmits (paying the loss-
   /// detection timeout each time) until it gets through.
-  [[nodiscard]] sim::Task<> send_message(NetNodeId src, NetNodeId dst, Bytes size = 50);
+  [[nodiscard]] sim::Task<> send_message(NetNodeId src, NetNodeId dst, Bytes size = 50,
+                                         obs::Ctx ctx = {});
 
   /// Unreliable variant: one send attempt. Returns false if the fault layer
   /// dropped the message — the caller resumes only after its loss-detection
   /// timeout has elapsed, and owns the retry/backoff decision. The hardened
   /// KV/VStore paths use this to drive their own per-operation timeouts.
-  [[nodiscard]] sim::Task<bool> try_send_message(NetNodeId src, NetNodeId dst, Bytes size = 50);
+  [[nodiscard]] sim::Task<bool> try_send_message(NetNodeId src, NetNodeId dst, Bytes size = 50,
+                                                 obs::Ctx ctx = {});
 
   /// One-way message latency sample (used by send_message).
   Duration sample_message_latency(NetNodeId src, NetNodeId dst, Bytes size);
@@ -85,6 +91,11 @@ class Network {
 
   /// Fixed per-hop store-and-forward / processing cost for messages.
   void set_hop_processing(Duration d) { hop_processing_ = d; }
+
+  /// Mirrors message/flow activity into a metrics registry
+  /// (c4h.net.msg.count, c4h.net.flow.count, c4h.net.flow.bytes).
+  /// Pass nullptr to detach.
+  void set_metrics(obs::Registry* registry);
 
  private:
   struct Flow {
@@ -116,6 +127,9 @@ class Network {
   // layout — determinism rule R3 (tools/c4h-lint).
   std::map<std::uint64_t, Flow> flows_;
   NetworkStats stats_;
+  obs::Counter* m_msgs_ = nullptr;        // registered via set_metrics()
+  obs::Counter* m_flows_ = nullptr;
+  obs::Counter* m_flow_bytes_ = nullptr;
 };
 
 }  // namespace c4h::net

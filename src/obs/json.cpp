@@ -1,0 +1,323 @@
+#include "src/obs/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace c4h::obs {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;  // UTF-8 bytes pass through verbatim
+        }
+    }
+  }
+  return out;
+}
+
+void JsonWriter::comma() {
+  if (pending_key_) {
+    pending_key_ = false;
+    return;  // value completes a "key": pair; no comma
+  }
+  if (!first_.empty()) {
+    if (!first_.back()) out_ += ',';
+    first_.back() = false;
+  }
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  comma();
+  out_ += '{';
+  first_.push_back(true);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  out_ += '}';
+  if (!first_.empty()) first_.pop_back();
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  comma();
+  out_ += '[';
+  first_.push_back(true);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  out_ += ']';
+  if (!first_.empty()) first_.pop_back();
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(const std::string& k) {
+  comma();
+  out_ += '"';
+  out_ += json_escape(k);
+  out_ += "\":";
+  pending_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(const std::string& v) {
+  comma();
+  out_ += '"';
+  out_ += json_escape(v);
+  out_ += '"';
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double v) {
+  comma();
+  if (!std::isfinite(v)) {
+    out_ += "null";  // JSON has no NaN/Inf
+    return *this;
+  }
+  // Integral doubles print as integers; everything else uses %.17g, which
+  // round-trips and is deterministic across runs.
+  char buf[40];
+  if (v == static_cast<double>(static_cast<std::int64_t>(v)) &&
+      std::fabs(v) < 9.007199254740992e15) {
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+  }
+  out_ += buf;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::uint64_t v) {
+  comma();
+  out_ += std::to_string(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t v) {
+  comma();
+  out_ += std::to_string(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool v) {
+  comma();
+  out_ += v ? "true" : "false";
+  return *this;
+}
+
+JsonWriter& JsonWriter::null() {
+  comma();
+  out_ += "null";
+  return *this;
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+
+namespace {
+
+struct Parser {
+  const std::string& text;
+  std::size_t pos = 0;
+
+  void skip_ws() {
+    while (pos < text.size() && (text[pos] == ' ' || text[pos] == '\t' ||
+                                 text[pos] == '\n' || text[pos] == '\r')) {
+      ++pos;
+    }
+  }
+
+  Error err(const std::string& what) const {
+    return Error{Errc::invalid_argument,
+                 "json parse error at offset " + std::to_string(pos) + ": " + what};
+  }
+
+  bool eat(char c) {
+    if (pos < text.size() && text[pos] == c) {
+      ++pos;
+      return true;
+    }
+    return false;
+  }
+
+  Result<JsonValue> parse_value() {
+    skip_ws();
+    if (pos >= text.size()) return err("unexpected end of input");
+    const char c = text[pos];
+    if (c == '{') return parse_object();
+    if (c == '[') return parse_array();
+    if (c == '"') return parse_string_value();
+    if (c == 't' || c == 'f') return parse_bool();
+    if (c == 'n') return parse_null();
+    if (c == '-' || (c >= '0' && c <= '9')) return parse_number();
+    return err(std::string("unexpected character '") + c + "'");
+  }
+
+  Result<JsonValue> parse_object() {
+    ++pos;  // '{'
+    JsonValue v;
+    v.kind = JsonValue::Kind::object;
+    skip_ws();
+    if (eat('}')) return v;
+    for (;;) {
+      skip_ws();
+      if (pos >= text.size() || text[pos] != '"') return err("expected member key");
+      auto key = parse_string();
+      if (!key.ok()) return key.error();
+      skip_ws();
+      if (!eat(':')) return err("expected ':' after key");
+      auto val = parse_value();
+      if (!val.ok()) return val.error();
+      v.members.emplace_back(*key, std::move(*val));
+      skip_ws();
+      if (eat(',')) continue;
+      if (eat('}')) return v;
+      return err("expected ',' or '}' in object");
+    }
+  }
+
+  Result<JsonValue> parse_array() {
+    ++pos;  // '['
+    JsonValue v;
+    v.kind = JsonValue::Kind::array;
+    skip_ws();
+    if (eat(']')) return v;
+    for (;;) {
+      auto val = parse_value();
+      if (!val.ok()) return val.error();
+      v.items.push_back(std::move(*val));
+      skip_ws();
+      if (eat(',')) continue;
+      if (eat(']')) return v;
+      return err("expected ',' or ']' in array");
+    }
+  }
+
+  Result<std::string> parse_string() {
+    ++pos;  // '"'
+    std::string out;
+    while (pos < text.size()) {
+      const char c = text[pos++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos >= text.size()) return err("dangling escape");
+      const char e = text[pos++];
+      switch (e) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'u': {
+          if (pos + 4 > text.size()) return err("truncated \\u escape");
+          unsigned int code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text[pos++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code += static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code += static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code += static_cast<unsigned>(h - 'A' + 10);
+            else return err("bad hex digit in \\u escape");
+          }
+          // The writer only emits \u00XX for control characters; accept the
+          // ASCII range and reject what we never produce.
+          if (code > 0x7F) return err("non-ASCII \\u escape unsupported");
+          out += static_cast<char>(code);
+          break;
+        }
+        default: return err(std::string("unknown escape '\\") + e + "'");
+      }
+    }
+    return err("unterminated string");
+  }
+
+  Result<JsonValue> parse_string_value() {
+    auto s = parse_string();
+    if (!s.ok()) return s.error();
+    JsonValue v;
+    v.kind = JsonValue::Kind::string;
+    v.str = std::move(*s);
+    return v;
+  }
+
+  Result<JsonValue> parse_bool() {
+    JsonValue v;
+    v.kind = JsonValue::Kind::boolean;
+    if (text.compare(pos, 4, "true") == 0) {
+      v.b = true;
+      pos += 4;
+      return v;
+    }
+    if (text.compare(pos, 5, "false") == 0) {
+      v.b = false;
+      pos += 5;
+      return v;
+    }
+    return err("bad literal");
+  }
+
+  Result<JsonValue> parse_null() {
+    if (text.compare(pos, 4, "null") != 0) return err("bad literal");
+    pos += 4;
+    JsonValue v;
+    v.kind = JsonValue::Kind::null_v;
+    return v;
+  }
+
+  Result<JsonValue> parse_number() {
+    const std::size_t start = pos;
+    eat('-');
+    while (pos < text.size() && text[pos] >= '0' && text[pos] <= '9') ++pos;
+    if (eat('.')) {
+      while (pos < text.size() && text[pos] >= '0' && text[pos] <= '9') ++pos;
+    }
+    if (pos < text.size() && (text[pos] == 'e' || text[pos] == 'E')) {
+      ++pos;
+      if (pos < text.size() && (text[pos] == '+' || text[pos] == '-')) ++pos;
+      while (pos < text.size() && text[pos] >= '0' && text[pos] <= '9') ++pos;
+    }
+    if (pos == start) return err("empty number");
+    JsonValue v;
+    v.kind = JsonValue::Kind::number;
+    char* end = nullptr;
+    v.num = std::strtod(text.c_str() + start, &end);
+    if (end != text.c_str() + pos) return err("malformed number");
+    return v;
+  }
+};
+
+}  // namespace
+
+Result<JsonValue> json_parse(const std::string& text) {
+  Parser p{text};
+  auto v = p.parse_value();
+  if (!v.ok()) return v;
+  p.skip_ws();
+  if (p.pos != text.size()) return p.err("trailing content after document");
+  return v;
+}
+
+}  // namespace c4h::obs

@@ -1,0 +1,76 @@
+// Minimal JSON support for bench artifacts: a streaming writer with
+// deterministic output (insertion-ordered keys, fixed number formatting)
+// and a small recursive-descent parser used by the round-trip tests and
+// any tool that consumes `BENCH_<name>.json`.
+//
+// Deliberately tiny — no external dependency, no DOM mutation API. The
+// writer escapes per RFC 8259 (quote, backslash, control characters); the
+// parser accepts exactly the JSON the writer produces plus ordinary
+// whitespace, numbers with exponents, and unicode escapes for the ASCII
+// range.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/common/result.hpp"
+
+namespace c4h::obs {
+
+/// Streaming JSON writer. Commas and nesting are managed internally:
+///   JsonWriter w;
+///   w.begin_object().key("seed").value(42).key("series").begin_array()...
+std::string json_escape(const std::string& s);
+
+class JsonWriter {
+ public:
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+  JsonWriter& key(const std::string& k);
+  JsonWriter& value(const std::string& v);
+  JsonWriter& value(const char* v) { return value(std::string(v)); }
+  JsonWriter& value(double v);
+  JsonWriter& value(std::uint64_t v);
+  JsonWriter& value(std::int64_t v);
+  JsonWriter& value(int v) { return value(static_cast<std::int64_t>(v)); }
+  JsonWriter& value(bool v);
+  JsonWriter& null();
+
+  const std::string& str() const { return out_; }
+
+ private:
+  void comma();
+
+  std::string out_;
+  std::vector<bool> first_;  // per nesting level: no element emitted yet
+  bool pending_key_ = false;
+};
+
+/// Parsed JSON value. Object members keep document order.
+struct JsonValue {
+  enum class Kind : std::uint8_t { null_v, boolean, number, string, array, object };
+
+  Kind kind = Kind::null_v;
+  bool b = false;
+  double num = 0.0;
+  std::string str;
+  std::vector<JsonValue> items;                              // array
+  std::vector<std::pair<std::string, JsonValue>> members;    // object
+
+  /// First member with key `k`, or nullptr.
+  const JsonValue* find(const std::string& k) const {
+    for (const auto& [key, v] : members) {
+      if (key == k) return &v;
+    }
+    return nullptr;
+  }
+};
+
+/// Parses a complete JSON document; trailing non-whitespace is an error.
+Result<JsonValue> json_parse(const std::string& text);
+
+}  // namespace c4h::obs

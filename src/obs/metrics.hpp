@@ -1,0 +1,126 @@
+// Metrics registry — named counters, gauges, and fixed-bucket log-scale
+// histograms, with a snapshot/diff API.
+//
+// Naming convention (DESIGN.md §10): `c4h.<layer>.<op>.<stat>`, optionally
+// qualified per node as `c4h.<layer>.<op>.<stat>{node=<name>}`. Hot paths
+// register once and keep the returned pointer, so recording is a single
+// increment; the registry's maps are ordered, so snapshots enumerate in a
+// stable order regardless of registration history.
+//
+// The histogram is log₂-bucketed: bucket 0 holds the value 0, bucket i
+// (1 ≤ i ≤ 64) holds values v with bit_width(v) == i, i.e. [2^(i-1), 2^i).
+// Quantiles report the lower bound of the bucket containing the target rank
+// — a deterministic, integer-only estimate with ≤ 2× relative error, which
+// is exactly the resolution a latency trajectory across PRs needs.
+#pragma once
+
+#include <array>
+#include <bit>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+
+namespace c4h::obs {
+
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) { value_ += n; }
+  std::uint64_t value() const { return value_; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+class Gauge {
+ public:
+  void set(double v) { value_ = v; }
+  double value() const { return value_; }
+
+ private:
+  double value_ = 0.0;
+};
+
+class LogHistogram {
+ public:
+  static constexpr int kBuckets = 65;
+
+  static int bucket_index(std::uint64_t v) {
+    return v == 0 ? 0 : std::bit_width(v);
+  }
+  /// Smallest value the bucket can hold (0 for bucket 0, else 2^(i-1)).
+  static std::uint64_t bucket_low(int i) {
+    return i == 0 ? 0 : (std::uint64_t{1} << (i - 1));
+  }
+
+  void record(std::uint64_t v) {
+    ++counts_[static_cast<std::size_t>(bucket_index(v))];
+    ++total_;
+    sum_ += v;
+  }
+
+  std::uint64_t count() const { return total_; }
+  std::uint64_t sum() const { return sum_; }
+  std::uint64_t bucket(int i) const { return counts_.at(static_cast<std::size_t>(i)); }
+  double mean() const {
+    return total_ == 0 ? 0.0 : static_cast<double>(sum_) / static_cast<double>(total_);
+  }
+
+  /// p in [0, 100]. Nearest-rank over buckets; returns the lower bound of
+  /// the bucket holding the rank-th smallest recorded value (0 when empty).
+  std::uint64_t quantile(double p) const;
+
+  /// Element-wise accumulation (combining per-node histograms).
+  void merge(const LogHistogram& other);
+  /// Element-wise subtraction (interval extraction between two snapshots).
+  /// Buckets saturate at zero — callers diff a later snapshot by an earlier
+  /// one of the same histogram, where counts are monotone.
+  void subtract(const LogHistogram& other);
+
+ private:
+  std::array<std::uint64_t, kBuckets> counts_{};
+  std::uint64_t total_ = 0;
+  std::uint64_t sum_ = 0;
+};
+
+/// A point-in-time copy of every metric. Counter/gauge values are plain
+/// numbers; histograms are copied whole so interval quantiles can be
+/// computed on the diff.
+struct Snapshot {
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, LogHistogram> histograms;
+};
+
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  /// Returns (registering on first use) the named metric. Pointers remain
+  /// valid for the registry's lifetime.
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  LogHistogram& histogram(const std::string& name);
+
+  /// `c4h.vstore.fetch.count` + `home-1` → `c4h.vstore.fetch.count{node=home-1}`.
+  static std::string qualify(const std::string& name, const std::string& node) {
+    return name + "{node=" + node + "}";
+  }
+
+  Snapshot snapshot() const;
+
+  /// Interval between two snapshots: counter deltas (after − before,
+  /// saturating at zero; names only in `after` pass through), gauge values
+  /// from `after`, histogram bucket differences.
+  static Snapshot diff(const Snapshot& before, const Snapshot& after);
+
+ private:
+  // unique_ptr for address stability across rebalancing inserts.
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<LogHistogram>> histograms_;
+};
+
+}  // namespace c4h::obs

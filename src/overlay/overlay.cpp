@@ -98,28 +98,35 @@ sim::Task<> Overlay::leave(ChimeraNode& node) {
 }
 
 sim::Task<Result<RouteResult>> Overlay::route(ChimeraNode& origin, Key target,
-                                              const std::function<bool(ChimeraNode&)>& stop_at) {
+                                              const std::function<bool(ChimeraNode&)>& stop_at,
+                                              obs::Ctx ctx) {
   ++stats_.routes;
+  obs::ScopedSpan sp(ctx, "overlay.route");
   RouteResult res;
   ChimeraNode* cur = &origin;
-  if (!cur->online()) co_return Error{Errc::unavailable, "origin offline"};
+  if (!cur->online()) {
+    sp.set_error("origin offline");
+    co_return Error{Errc::unavailable, "origin offline"};
+  }
 
   for (;;) {
     if (stop_at && cur != &origin && stop_at(*cur)) {
       res.owner = cur->id();
       stats_.route_hops += static_cast<std::uint64_t>(res.hops);
+      sp.attr("hops", static_cast<std::uint64_t>(res.hops));
       co_return res;
     }
     const Key next = cur->next_hop(target);
     if (next == cur->id()) {
       res.owner = cur->id();
       stats_.route_hops += static_cast<std::uint64_t>(res.hops);
+      sp.attr("hops", static_cast<std::uint64_t>(res.hops));
       co_return res;
     }
     ChimeraNode* nn = node_by_key(next);
     ++res.hops;
     ++stats_.route_hops;
-    co_await net_.send_message(cur->net_node(), nn->net_node());
+    co_await net_.send_message(cur->net_node(), nn->net_node(), 50, sp.ctx());
     co_await sim_.delay(config_.per_hop_processing);
     if (!nn->online()) {
       // Next hop is dead: pay the probe timeout, drop it, try again.
@@ -128,7 +135,10 @@ sim::Task<Result<RouteResult>> Overlay::route(ChimeraNode& origin, Key target,
       cur->remove_peer(next);
       continue;
     }
-    if (res.hops > config_.max_hops) co_return Error{Errc::no_route, "route exceeded max hops"};
+    if (res.hops > config_.max_hops) {
+      sp.set_error("max hops");
+      co_return Error{Errc::no_route, "route exceeded max hops"};
+    }
     res.path.push_back(next);
     cur = nn;
   }

@@ -16,6 +16,7 @@
 #include "src/common/log.hpp"
 #include "src/common/result.hpp"
 #include "src/net/network.hpp"
+#include "src/obs/trace.hpp"
 #include "src/overlay/chimera_node.hpp"
 #include "src/sim/simulation.hpp"
 #include "src/sim/sync.hpp"
@@ -89,9 +90,12 @@ class Overlay {
 
   /// Routes from `origin` toward `target`; resolves the owning node.
   /// If `stop_at` is set and returns true for an intermediate node, routing
-  /// stops there (used by the KV layer's path caches).
+  /// stops there (used by the KV layer's path caches). A non-null `ctx`
+  /// records an `overlay.route` span whose `net.msg` children are the DHT
+  /// hops.
   [[nodiscard]] sim::Task<Result<RouteResult>> route(ChimeraNode& origin, Key target,
-                                       const std::function<bool(ChimeraNode&)>& stop_at = {});
+                                       const std::function<bool(ChimeraNode&)>& stop_at = {},
+                                       obs::Ctx ctx = {});
 
   /// The `r` live ring successors of `node` (clockwise), excluding itself —
   /// the replica set used by the KV layer.

@@ -3,11 +3,16 @@
 namespace c4h::services {
 
 sim::Task<Bytes> execute_service(const ServiceProfile& profile, vmm::Domain& domain,
-                                 Bytes input) {
+                                 Bytes input, obs::Ctx ctx) {
+  obs::ScopedSpan sp(ctx, "svc.exec");
+  sp.attr("service", profile.name);
+  sp.attr("input_bytes", static_cast<std::uint64_t>(input));
   const double slow = vmm::memory_slowdown(profile.working_set_for(input), domain.memory());
   const double work = profile.work_for(input) * slow;
   co_await domain.host().execute(domain, work, profile.parallelism);
-  co_return profile.output_size(input);
+  const Bytes out = profile.output_size(input);
+  sp.attr("output_bytes", static_cast<std::uint64_t>(out));
+  co_return out;
 }
 
 ServiceProfile face_detect_profile() {

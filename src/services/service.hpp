@@ -19,6 +19,7 @@
 
 #include "src/common/serial.hpp"
 #include "src/common/units.hpp"
+#include "src/obs/trace.hpp"
 #include "src/sim/task.hpp"
 #include "src/vmm/machine.hpp"
 
@@ -83,8 +84,10 @@ struct ServiceProfile {
 
 /// Executes the service on `domain`, paying the memory-thrash multiplier and
 /// competing with other load on the host. Returns the output object size.
+/// A non-null `ctx` records a `svc.exec` span with the service name and
+/// input/output sizes.
 sim::Task<Bytes> execute_service(const ServiceProfile& profile, vmm::Domain& domain,
-                                 Bytes input);
+                                 Bytes input, obs::Ctx ctx = {});
 
 // --- The paper's three services, with calibrated cost models -------------
 

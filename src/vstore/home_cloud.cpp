@@ -49,6 +49,7 @@ HomeCloud::HomeCloud(HomeCloudConfig config)
   wan_down_link_ =
       topo_build_->add_link(cloud_ep_, gateway_wan_, config_.wan_down, config_.wan_latency,
                             config_.wan_latency_jitter, config_.wan_rate_jitter);
+  tracer_ = std::make_unique<obs::Tracer>(*sim_, config_.seed);
   for (int i = 0; i < config_.netbooks; ++i) {
     add_node(HomeCloudConfig::netbook_spec(config_.home_name + "/netbook-" + std::to_string(i)));
   }
@@ -74,6 +75,7 @@ HomeCloud::HomeCloud(Neighborhood& hood, HomeCloudConfig config)
   wan_down_link_ = topo_build_->add_link(hood.internet_core(), gateway_wan_, config_.wan_down,
                                          config_.wan_latency, config_.wan_latency_jitter,
                                          config_.wan_rate_jitter);
+  tracer_ = std::make_unique<obs::Tracer>(*sim_, config_.seed);
   hood.register_home(this);
   for (int i = 0; i < config_.netbooks; ++i) {
     add_node(HomeCloudConfig::netbook_spec(config_.home_name + "/netbook-" + std::to_string(i)));
@@ -117,6 +119,12 @@ void HomeCloud::bootstrap() {
   overlay_ = std::make_unique<overlay::Overlay>(*sim_, *net_, config_.overlay);
   kv_ = std::make_unique<kv::KvStore>(*overlay_, config_.kv);
   registry_ = std::make_unique<services::ServiceRegistry>(*kv_);
+
+  // Mirror layer activity into this home's registry. The network is only
+  // wired when this home owns it: in a Neighborhood the net is shared and a
+  // per-home registry would misattribute the other homes' traffic.
+  kv_->set_metrics(&metrics_);
+  if (hood_ == nullptr) net_->set_metrics(&metrics_);
 
   for (std::size_t i = 0; i < hosts_.size(); ++i) {
     const HomeNodeSpec& spec = pending_specs_[i];

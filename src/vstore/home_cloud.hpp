@@ -21,6 +21,8 @@
 #include "src/kv/kvstore.hpp"
 #include "src/mon/monitor.hpp"
 #include "src/net/network.hpp"
+#include "src/obs/metrics.hpp"
+#include "src/obs/trace.hpp"
 #include "src/overlay/overlay.hpp"
 #include "src/services/registry.hpp"
 #include "src/sim/simulation.hpp"
@@ -108,6 +110,21 @@ class HomeCloud {
   net::Network& network() { return *net_; }
   overlay::Overlay& overlay() { return *overlay_; }
   kv::KvStore& kv() { return *kv_; }
+
+  /// This deployment's trace sink. Disabled by default — call
+  /// `tracer().set_enabled(true)` to record spans for subsequent operations.
+  obs::Tracer& tracer() { return *tracer_; }
+
+  /// This deployment's metrics registry. Always on: the layers record into
+  /// it with O(1) counter/histogram updates.
+  obs::Registry& metrics() { return metrics_; }
+
+  /// Root trace context for a new operation: null (all recording no-ops)
+  /// while the tracer is disabled.
+  obs::Ctx trace_ctx() {
+    return tracer_->enabled() ? obs::Ctx{tracer_.get(), 0} : obs::Ctx{};
+  }
+
   cloud::S3Store& s3() { return *s3_; }
   cloud::Ec2Instance& ec2() { return *ec2_; }
   services::ServiceRegistry& registry() { return *registry_; }
@@ -170,6 +187,9 @@ class HomeCloud {
   friend class VStoreNode;
 
   HomeCloudConfig config_;
+
+  std::unique_ptr<obs::Tracer> tracer_;  // constructed once sim_ is known
+  obs::Registry metrics_;
 
   // World: owned when standalone, borrowed from the Neighborhood otherwise.
   Neighborhood* hood_ = nullptr;

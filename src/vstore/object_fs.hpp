@@ -13,6 +13,7 @@
 
 #include "src/common/result.hpp"
 #include "src/common/units.hpp"
+#include "src/obs/trace.hpp"
 #include "src/sim/fault.hpp"
 #include "src/sim/simulation.hpp"
 #include "src/sim/task.hpp"
@@ -35,14 +36,22 @@ class ObjectFs {
 
   /// Writes the object's file; fails with no_capacity when the bin is full.
   /// Overwrites reuse the old file's space; the old file survives a failed
-  /// overwrite (capacity is checked before anything is destroyed).
-  [[nodiscard]] sim::Task<Result<void>> write(const std::string& name, Bytes size, Bin bin) {
+  /// overwrite (capacity is checked before anything is destroyed). A non-null
+  /// `ctx` records the disk write as an `fs.write` span.
+  [[nodiscard]] sim::Task<Result<void>> write(const std::string& name, Bytes size, Bin bin,
+                                              obs::Ctx ctx = {}) {
+    obs::ScopedSpan sp(ctx, "fs.write");
+    sp.attr("bytes", static_cast<std::uint64_t>(size));
     if (sim::FaultPlan* fp = sim_.fault(); fp != nullptr) {
       // Spurious bin-full and flaky-media faults; both leave the old file
       // (if any) untouched, like the real failure modes they model.
-      if (fp->inject_bin_full()) co_return Error{Errc::no_capacity, "bin full: " + name};
+      if (fp->inject_bin_full()) {
+        sp.set_error("bin full");
+        co_return Error{Errc::no_capacity, "bin full: " + name};
+      }
       if (fp->inject_io_error()) {
         co_await sim_.delay(config_.seek);
+        sp.set_error("io error");
         co_return Error{Errc::io_error, "write error: " + name};
       }
     }
@@ -51,7 +60,10 @@ class ObjectFs {
     if (it != files_.end() && it->second.bin == bin) {
       free += it->second.size;  // the old copy's space is reclaimable
     }
-    if (size > free) co_return Error{Errc::no_capacity, "bin full: " + name};
+    if (size > free) {
+      sp.set_error("bin full");
+      co_return Error{Errc::no_capacity, "bin full: " + name};
+    }
     if (it != files_.end()) {
       release(it->second);
       files_.erase(it);
@@ -62,14 +74,21 @@ class ObjectFs {
     co_return Result<void>{};
   }
 
-  /// Reads the object's file; returns its size.
-  [[nodiscard]] sim::Task<Result<Bytes>> read(const std::string& name) {
+  /// Reads the object's file; returns its size. A non-null `ctx` records the
+  /// disk read as an `fs.read` span.
+  [[nodiscard]] sim::Task<Result<Bytes>> read(const std::string& name, obs::Ctx ctx = {}) {
+    obs::ScopedSpan sp(ctx, "fs.read");
     const auto it = files_.find(name);
-    if (it == files_.end()) co_return Error{Errc::not_found, "no file: " + name};
+    if (it == files_.end()) {
+      sp.set_error("not found");
+      co_return Error{Errc::not_found, "no file: " + name};
+    }
     if (sim::FaultPlan* fp = sim_.fault(); fp != nullptr && fp->inject_io_error()) {
       co_await sim_.delay(config_.seek);
+      sp.set_error("io error");
       co_return Error{Errc::io_error, "read error: " + name};
     }
+    sp.attr("bytes", static_cast<std::uint64_t>(it->second.size));
     co_await sim_.delay(config_.seek + transfer_time(it->second.size, config_.read_rate));
     co_return it->second.size;
   }

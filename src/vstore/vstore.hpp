@@ -25,6 +25,8 @@
 #include "src/common/rng.hpp"
 #include "src/kv/kvstore.hpp"
 #include "src/mon/monitor.hpp"
+#include "src/obs/metrics.hpp"
+#include "src/obs/trace.hpp"
 #include "src/overlay/overlay.hpp"
 #include "src/services/registry.hpp"
 #include "src/services/service.hpp"
@@ -119,14 +121,20 @@ class VStoreNode {
 
   // --- The VStore++ application API (called from the guest VM) -----------
 
+  // Every operation opens a root span on the deployment's tracer (when
+  // enabled). `parent` lets a caller nest the op under its own span — the
+  // composite fetch+process uses this to keep one tree per user request.
+
   /// Maps a file to an object and creates the mandatory meta information.
-  [[nodiscard]] sim::Task<Result<void>> create_object(ObjectMeta meta);
+  [[nodiscard]] sim::Task<Result<void>> create_object(ObjectMeta meta, obs::Ctx parent = {});
 
   /// Transfers the object out of the guest and places it per policy.
-  [[nodiscard]] sim::Task<Result<StoreOutcome>> store_object(const std::string& name, StoreOptions opts = {});
+  [[nodiscard]] sim::Task<Result<StoreOutcome>> store_object(const std::string& name, StoreOptions opts = {},
+                                                             obs::Ctx parent = {});
 
   /// Locates and retrieves an object into the guest VM.
-  [[nodiscard]] sim::Task<Result<FetchOutcome>> fetch_object(const std::string& name);
+  [[nodiscard]] sim::Task<Result<FetchOutcome>> fetch_object(const std::string& name,
+                                                             obs::Ctx parent = {});
 
   /// Invokes a service on a stored object; the execution site is chosen by
   /// chimeraGetDecision under `policy`. Passing `force` pins the execution
@@ -135,7 +143,8 @@ class VStoreNode {
   [[nodiscard]] sim::Task<Result<ProcessOutcome>> process(const std::string& name,
                                             const services::ServiceProfile& service,
                                             DecisionPolicy policy = DecisionPolicy::performance,
-                                            std::optional<ExecSite> force = std::nullopt);
+                                            std::optional<ExecSite> force = std::nullopt,
+                                            obs::Ctx parent = {});
 
   /// Runs several services back-to-back at ONE site (the surveillance
   /// pipeline: "first perform face detection, and next face recognition
@@ -144,30 +153,34 @@ class VStoreNode {
   [[nodiscard]] sim::Task<Result<ProcessOutcome>> process_pipeline(
       const std::string& name, const std::vector<services::ServiceProfile>& stages,
       DecisionPolicy policy = DecisionPolicy::performance,
-      std::optional<ExecSite> force = std::nullopt);
+      std::optional<ExecSite> force = std::nullopt, obs::Ctx parent = {});
 
   /// Fetch with processing attached: runs at the requester if capable, else
   /// at the owner, else wherever the decision engine picks (§III-B).
   [[nodiscard]] sim::Task<Result<ProcessOutcome>> fetch_process(
       const std::string& name, const services::ServiceProfile& service,
-      DecisionPolicy policy = DecisionPolicy::performance);
+      DecisionPolicy policy = DecisionPolicy::performance, obs::Ctx parent = {});
 
  private:
   friend class HomeCloud;
 
   // dom0-side helpers.
-  sim::Task<Result<ObjectRecord>> lookup_record(const std::string& name, Duration& dht_cost);
+  sim::Task<Result<ObjectRecord>> lookup_record(const std::string& name, Duration& dht_cost,
+                                                obs::Ctx ctx = {});
   /// One locate-and-transfer attempt for fetch_object (lookup, authorize,
   /// data movement into dom0 — no guest delivery). The retry loop wraps it.
-  sim::Task<Result<FetchOutcome>> fetch_attempt(const std::string& name);
+  sim::Task<Result<FetchOutcome>> fetch_attempt(const std::string& name, obs::Ctx ctx);
   sim::Task<Result<void>> run_at_site(const ExecSite& site, const ExecSite& owner_site,
                                       const std::string& name,
                                       const std::vector<services::ServiceProfile>& stages,
                                       const ObjectRecord& rec, ProcessOutcome& out,
-                                      TimePoint t0);
+                                      TimePoint t0, obs::Ctx ctx);
   sim::Task<Result<ObjectLocation>> place_object(const ObjectMeta& meta, StoreOptions& opts,
-                                                 StoreOutcome& out);
-  sim::Task<Duration> command_round_trip();
+                                                 StoreOutcome& out, obs::Ctx ctx);
+  sim::Task<Duration> command_round_trip(obs::Ctx ctx = {});
+  /// Root context for an operation: `parent` when set, else the deployment
+  /// tracer (null while disabled).
+  obs::Ctx op_ctx(obs::Ctx parent);
 
   /// Access check against a looked-up record; returns the denial if any.
   Result<void> authorize(const ObjectRecord& rec, Right r) const;
@@ -183,6 +196,13 @@ class VStoreNode {
   Principal principal_;
   Rng rng_;  // retry-backoff jitter; forked from the simulation seed
   VStoreNodeStats stats_;
+  // Per-node operation metrics (qualified `name{node=...}`), registered on
+  // the deployment's registry at construction.
+  obs::Counter* m_stores_ = nullptr;
+  obs::Counter* m_fetches_ = nullptr;
+  obs::Counter* m_processes_ = nullptr;
+  obs::LogHistogram* m_fetch_total_ = nullptr;
+  obs::LogHistogram* m_store_total_ = nullptr;
 };
 
 }  // namespace c4h::vstore

@@ -1,0 +1,168 @@
+// Bench artifact emission tests: JSON writer/parser round-trip, string
+// escaping, the c4h-bench-v1 schema fields, and deterministic output.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "src/obs/bench_emit.hpp"
+#include "src/obs/json.hpp"
+
+namespace c4h::obs {
+namespace {
+
+// --- Escaping ----------------------------------------------------------------
+
+TEST(JsonEscape, PassesPlainTextThrough) {
+  EXPECT_EQ(json_escape("hello world"), "hello world");
+}
+
+TEST(JsonEscape, EscapesQuotesBackslashesAndControls) {
+  EXPECT_EQ(json_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(json_escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(json_escape("line1\nline2"), "line1\\nline2");
+  EXPECT_EQ(json_escape("tab\there"), "tab\\there");
+  EXPECT_EQ(json_escape(std::string(1, '\x01')), "\\u0001");
+}
+
+// --- Writer/parser round-trip -------------------------------------------------
+
+TEST(JsonRoundTrip, ObjectWithAllValueKinds) {
+  JsonWriter w;
+  w.begin_object()
+      .key("s").value("text with \"quotes\" and \\slashes\\")
+      .key("i").value(std::uint64_t{18446744073709551615ull})
+      .key("d").value(2.5)
+      .key("neg").value(std::int64_t{-42})
+      .key("t").value(true)
+      .key("f").value(false);
+  w.key("n").null();
+  w.key("arr").begin_array().value(1).value(2).value(3).end_array();
+  w.key("obj").begin_object().key("nested").value("x").end_object();
+  w.end_object();
+
+  auto parsed = json_parse(w.str());
+  ASSERT_TRUE(parsed.ok()) << parsed.error().message;
+  const JsonValue& v = *parsed;
+  ASSERT_EQ(v.kind, JsonValue::Kind::object);
+  EXPECT_EQ(v.find("s")->str, "text with \"quotes\" and \\slashes\\");
+  EXPECT_DOUBLE_EQ(v.find("d")->num, 2.5);
+  EXPECT_DOUBLE_EQ(v.find("neg")->num, -42.0);
+  EXPECT_TRUE(v.find("t")->b);
+  EXPECT_FALSE(v.find("f")->b);
+  EXPECT_EQ(v.find("n")->kind, JsonValue::Kind::null_v);
+  ASSERT_EQ(v.find("arr")->items.size(), 3u);
+  EXPECT_DOUBLE_EQ(v.find("arr")->items[1].num, 2.0);
+  EXPECT_EQ(v.find("obj")->find("nested")->str, "x");
+}
+
+TEST(JsonRoundTrip, MemberOrderIsPreserved) {
+  JsonWriter w;
+  w.begin_object().key("zeta").value(1).key("alpha").value(2).key("mid").value(3).end_object();
+  auto parsed = json_parse(w.str());
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_EQ(parsed->members.size(), 3u);
+  EXPECT_EQ(parsed->members[0].first, "zeta");
+  EXPECT_EQ(parsed->members[1].first, "alpha");
+  EXPECT_EQ(parsed->members[2].first, "mid");
+}
+
+TEST(JsonParse, RejectsTrailingGarbage) {
+  EXPECT_FALSE(json_parse("{} trailing").ok());
+  EXPECT_FALSE(json_parse("{\"a\":}").ok());
+  EXPECT_FALSE(json_parse("").ok());
+}
+
+// --- BenchReport schema --------------------------------------------------------
+
+BenchReport sample_report() {
+  BenchReport r("unit_bench", 1234);
+  r.meta("quick", "true");
+  r.meta("note", "escaped \"value\"");
+  r.add("1MB", "fetch.total", 142.5, "ms");
+  r.add("10MB", "fetch.total", 1198.0, "ms");
+  return r;
+}
+
+TEST(BenchReport, EmitsSchemaFields) {
+  const BenchReport r = sample_report();
+  auto parsed = json_parse(r.json());
+  ASSERT_TRUE(parsed.ok()) << parsed.error().message;
+  const JsonValue& v = *parsed;
+
+  ASSERT_NE(v.find("schema"), nullptr);
+  EXPECT_EQ(v.find("schema")->str, "c4h-bench-v1");
+  EXPECT_EQ(v.find("bench")->str, "unit_bench");
+  EXPECT_DOUBLE_EQ(v.find("seed")->num, 1234.0);
+  ASSERT_NE(v.find("run_id"), nullptr);
+  EXPECT_EQ(v.find("meta")->find("quick")->str, "true");
+  EXPECT_EQ(v.find("meta")->find("note")->str, "escaped \"value\"");
+
+  const JsonValue* series = v.find("series");
+  ASSERT_NE(series, nullptr);
+  ASSERT_EQ(series->items.size(), 2u);
+  const JsonValue& p0 = series->items[0];
+  EXPECT_EQ(p0.find("label")->str, "1MB");
+  EXPECT_EQ(p0.find("metric")->str, "fetch.total");
+  EXPECT_DOUBLE_EQ(p0.find("value")->num, 142.5);
+  EXPECT_EQ(p0.find("unit")->str, "ms");
+}
+
+TEST(BenchReport, TopLevelKeyOrderIsFixed) {
+  auto parsed = json_parse(sample_report().json());
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_EQ(parsed->members.size(), 6u);
+  EXPECT_EQ(parsed->members[0].first, "schema");
+  EXPECT_EQ(parsed->members[1].first, "bench");
+  EXPECT_EQ(parsed->members[2].first, "seed");
+  EXPECT_EQ(parsed->members[3].first, "run_id");
+  EXPECT_EQ(parsed->members[4].first, "meta");
+  EXPECT_EQ(parsed->members[5].first, "series");
+}
+
+TEST(BenchReport, SerializationIsDeterministic) {
+  // Two reports built the same way — and the same report serialized twice —
+  // must produce byte-identical documents.
+  const std::string a = sample_report().json();
+  const std::string b = sample_report().json();
+  EXPECT_EQ(a, b);
+
+  const BenchReport r = sample_report();
+  EXPECT_EQ(r.json(), r.json());
+}
+
+TEST(BenchReport, RunIdIsSeedDerived) {
+  BenchReport a("x", 7), b("x", 7), c("x", 8);
+  auto id = [](const BenchReport& r) {
+    auto parsed = json_parse(r.json());
+    return parsed.ok() ? parsed->find("run_id")->num : -1.0;
+  };
+  EXPECT_EQ(id(a), id(b));
+  EXPECT_NE(id(a), id(c));
+}
+
+TEST(BenchReport, WriteProducesParsableFile) {
+  const BenchReport r = sample_report();
+  auto path = r.write(::testing::TempDir());
+  ASSERT_TRUE(path.ok()) << path.error().message;
+  EXPECT_NE(path->find("BENCH_unit_bench.json"), std::string::npos);
+
+  std::ifstream in(*path);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  EXPECT_EQ(ss.str(), r.json());
+  auto parsed = json_parse(ss.str());
+  EXPECT_TRUE(parsed.ok());
+  const int removed = std::remove(path->c_str());
+  EXPECT_EQ(removed, 0);
+}
+
+TEST(BenchReport, WriteToMissingDirectoryFails) {
+  const BenchReport r = sample_report();
+  auto path = r.write("/nonexistent-dir-for-bench-test");
+  EXPECT_FALSE(path.ok());
+}
+
+}  // namespace
+}  // namespace c4h::obs

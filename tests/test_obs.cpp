@@ -1,0 +1,274 @@
+// Observability layer unit tests: log-histogram bucket math and quantiles,
+// counter/gauge snapshot-diff, and span parent/child bookkeeping on the
+// in-memory tracer.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+
+#include "src/obs/metrics.hpp"
+#include "src/obs/trace.hpp"
+#include "src/sim/simulation.hpp"
+
+namespace c4h::obs {
+namespace {
+
+// --- LogHistogram: bucket boundaries ---------------------------------------
+
+TEST(LogHistogram, BucketBoundaries) {
+  // Bucket 0 holds exactly the value 0; bucket i holds [2^(i-1), 2^i).
+  EXPECT_EQ(LogHistogram::bucket_index(0), 0);
+  EXPECT_EQ(LogHistogram::bucket_index(1), 1);
+  EXPECT_EQ(LogHistogram::bucket_index(2), 2);
+  EXPECT_EQ(LogHistogram::bucket_index(3), 2);
+  EXPECT_EQ(LogHistogram::bucket_index(4), 3);
+  EXPECT_EQ(LogHistogram::bucket_index(7), 3);
+  EXPECT_EQ(LogHistogram::bucket_index(8), 4);
+  EXPECT_EQ(LogHistogram::bucket_index(1023), 10);
+  EXPECT_EQ(LogHistogram::bucket_index(1024), 11);
+  EXPECT_EQ(LogHistogram::bucket_index(std::numeric_limits<std::uint64_t>::max()), 64);
+}
+
+TEST(LogHistogram, BucketLowIsInclusiveLowerBound) {
+  EXPECT_EQ(LogHistogram::bucket_low(0), 0u);
+  for (int i = 1; i < LogHistogram::kBuckets; ++i) {
+    const std::uint64_t low = LogHistogram::bucket_low(i);
+    EXPECT_EQ(LogHistogram::bucket_index(low), i) << "bucket " << i;
+    if (i > 1) {
+      EXPECT_EQ(LogHistogram::bucket_index(low - 1), i - 1) << "bucket " << i;
+    }
+  }
+}
+
+TEST(LogHistogram, RecordCountsAndSums) {
+  LogHistogram h;
+  h.record(0);
+  h.record(1);
+  h.record(5);
+  h.record(5);
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_EQ(h.sum(), 11u);
+  EXPECT_EQ(h.bucket(0), 1u);  // the 0
+  EXPECT_EQ(h.bucket(1), 1u);  // the 1
+  EXPECT_EQ(h.bucket(3), 2u);  // the two 5s
+  EXPECT_DOUBLE_EQ(h.mean(), 11.0 / 4.0);
+}
+
+// --- LogHistogram: quantiles -------------------------------------------------
+
+TEST(LogHistogram, QuantileEmptyIsZero) {
+  LogHistogram h;
+  EXPECT_EQ(h.quantile(50), 0u);
+  EXPECT_EQ(h.quantile(99), 0u);
+}
+
+TEST(LogHistogram, QuantileNearestRank) {
+  LogHistogram h;
+  // 90 values in [64,128) and 10 in [1024,2048): p50/p90 land in the low
+  // bucket, p95/p99 in the high one. Quantiles report bucket lower bounds.
+  for (int i = 0; i < 90; ++i) h.record(100);
+  for (int i = 0; i < 10; ++i) h.record(1500);
+  EXPECT_EQ(h.quantile(50), 64u);
+  EXPECT_EQ(h.quantile(90), 64u);
+  EXPECT_EQ(h.quantile(95), 1024u);
+  EXPECT_EQ(h.quantile(99), 1024u);
+  EXPECT_EQ(h.quantile(0), 64u);    // lowest recorded value's bucket
+  EXPECT_EQ(h.quantile(100), 1024u);
+}
+
+TEST(LogHistogram, QuantileSingleValue) {
+  LogHistogram h;
+  h.record(33);  // bucket [32,64)
+  for (double p : {0.0, 50.0, 99.0, 100.0}) {
+    EXPECT_EQ(h.quantile(p), 32u) << "p=" << p;
+  }
+}
+
+// --- LogHistogram: merge / subtract -----------------------------------------
+
+TEST(LogHistogram, MergeAccumulates) {
+  LogHistogram a, b;
+  a.record(10);
+  a.record(20);
+  b.record(3000);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_EQ(a.sum(), 3030u);
+  EXPECT_EQ(a.quantile(99), 2048u);
+  // The source is untouched.
+  EXPECT_EQ(b.count(), 1u);
+}
+
+TEST(LogHistogram, SubtractExtractsInterval) {
+  LogHistogram before;
+  before.record(100);
+
+  LogHistogram after = before;  // snapshot copy
+  after.record(100);
+  after.record(5000);
+
+  after.subtract(before);
+  EXPECT_EQ(after.count(), 2u);
+  EXPECT_EQ(after.sum(), 5100u);
+  EXPECT_EQ(after.bucket(LogHistogram::bucket_index(100)), 1u);
+  EXPECT_EQ(after.bucket(LogHistogram::bucket_index(5000)), 1u);
+}
+
+// --- Registry: snapshot / diff ----------------------------------------------
+
+TEST(Registry, CounterAndGaugePointersAreStable) {
+  Registry reg;
+  Counter& c = reg.counter("c4h.test.op.count");
+  c.add(2);
+  // Registering more metrics must not invalidate earlier references.
+  for (int i = 0; i < 100; ++i) reg.counter("c4h.test.filler." + std::to_string(i));
+  Counter& again = reg.counter("c4h.test.op.count");
+  EXPECT_EQ(&c, &again);
+  EXPECT_EQ(c.value(), 2u);
+}
+
+TEST(Registry, SnapshotDiffCounters) {
+  Registry reg;
+  reg.counter("c4h.kv.put.count").add(5);
+  reg.gauge("c4h.node.battery").set(0.8);
+
+  const Snapshot before = reg.snapshot();
+  reg.counter("c4h.kv.put.count").add(3);
+  reg.counter("c4h.kv.get.count").add(7);  // registered after `before`
+  reg.gauge("c4h.node.battery").set(0.5);
+  const Snapshot after = reg.snapshot();
+
+  const Snapshot d = Registry::diff(before, after);
+  EXPECT_EQ(d.counters.at("c4h.kv.put.count"), 3u);
+  EXPECT_EQ(d.counters.at("c4h.kv.get.count"), 7u);  // passes through whole
+  EXPECT_DOUBLE_EQ(d.gauges.at("c4h.node.battery"), 0.5);  // gauges: latest
+}
+
+TEST(Registry, SnapshotDiffHistograms) {
+  Registry reg;
+  LogHistogram& h = reg.histogram("c4h.kv.get.latency_ns");
+  h.record(100);
+  const Snapshot before = reg.snapshot();
+  h.record(100);
+  h.record(8000);
+  const Snapshot after = reg.snapshot();
+
+  const Snapshot d = Registry::diff(before, after);
+  const LogHistogram& dh = d.histograms.at("c4h.kv.get.latency_ns");
+  EXPECT_EQ(dh.count(), 2u);
+  EXPECT_EQ(dh.quantile(99), LogHistogram::bucket_low(LogHistogram::bucket_index(8000)));
+}
+
+TEST(Registry, QualifyAppendsNodeTag) {
+  EXPECT_EQ(Registry::qualify("c4h.vstore.fetch.count", "home/netbook-1"),
+            "c4h.vstore.fetch.count{node=home/netbook-1}");
+}
+
+// --- Tracer: span nesting ----------------------------------------------------
+
+TEST(Tracer, ParentChildNesting) {
+  sim::Simulation sim{1};
+  Tracer tr{sim, 1};
+  tr.set_enabled(true);
+
+  Ctx root_ctx{&tr, 0};
+  ScopedSpan root(root_ctx, "op");
+  {
+    ScopedSpan child(root.ctx(), "child-a");
+    ScopedSpan grand(child.ctx(), "leaf");
+  }
+  { ScopedSpan child(root.ctx(), "child-b"); }
+  root.end();
+
+  ASSERT_EQ(tr.size(), 4u);
+  const auto roots = tr.roots();
+  ASSERT_EQ(roots.size(), 1u);
+  EXPECT_EQ(roots[0]->name, "op");
+
+  const auto kids = tr.children(roots[0]->id);
+  ASSERT_EQ(kids.size(), 2u);
+  EXPECT_EQ(kids[0]->name, "child-a");
+  EXPECT_EQ(kids[1]->name, "child-b");
+
+  const auto grandkids = tr.children(kids[0]->id);
+  ASSERT_EQ(grandkids.size(), 1u);
+  EXPECT_EQ(grandkids[0]->name, "leaf");
+
+  EXPECT_EQ(tr.depth_below(roots[0]->id), 2);
+  EXPECT_EQ(tr.count_in_subtree(roots[0]->id, "leaf"), 1);
+}
+
+TEST(Tracer, NullContextRecordsNothing) {
+  sim::Simulation sim{1};
+  Tracer tr{sim, 1};
+  // A default (null) context must make every recording call a no-op.
+  ScopedSpan sp(Ctx{}, "ghost");
+  sp.attr("k", "v");
+  sp.set_error("boom");
+  sp.end();
+  EXPECT_EQ(tr.size(), 0u);
+}
+
+TEST(Tracer, ErrorStatusAndNote) {
+  sim::Simulation sim{1};
+  Tracer tr{sim, 1};
+  tr.set_enabled(true);
+  {
+    ScopedSpan sp(Ctx{&tr, 0}, "failing");
+    sp.set_error("not found");
+  }
+  const Span* s = tr.find_by_name("failing");
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->status, SpanStatus::error);
+  EXPECT_EQ(s->note, "not found");
+  EXPECT_TRUE(s->finished);
+}
+
+TEST(Tracer, SpanTimestampsComeFromSimClock) {
+  sim::Simulation sim{1};
+  Tracer tr{sim, 1};
+  tr.set_enabled(true);
+  sim.schedule(milliseconds(10), [&tr] {
+    ScopedSpan sp(Ctx{&tr, 0}, "timed");
+    sp.end();
+  });
+  sim.run();
+  const Span* s = tr.find_by_name("timed");
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->start, milliseconds(10));
+  EXPECT_EQ(s->end, milliseconds(10));
+}
+
+TEST(Tracer, RunIdDerivedFromSeed) {
+  sim::Simulation sim{1};
+  Tracer a{sim, 7};
+  Tracer b{sim, 7};
+  Tracer c{sim, 8};
+  EXPECT_EQ(a.run_id(), b.run_id());
+  EXPECT_NE(a.run_id(), c.run_id());
+}
+
+TEST(Tracer, SumInSubtreeExcludesOtherRoots) {
+  sim::Simulation sim{1};
+  Tracer tr{sim, 1};
+  tr.set_enabled(true);
+
+  // Two separate roots each with a "net.msg" child; the per-root sum must
+  // not leak across trees.
+  SpanId r1 = tr.begin("op", 0);
+  sim.schedule(milliseconds(1), [] {});
+  SpanId m1 = tr.begin("net.msg", r1);
+  tr.end(m1, SpanStatus::ok, "");
+  tr.end(r1, SpanStatus::ok, "");
+
+  SpanId r2 = tr.begin("op", 0);
+  SpanId m2 = tr.begin("net.msg", r2);
+  tr.end(m2, SpanStatus::ok, "");
+  tr.end(r2, SpanStatus::ok, "");
+
+  EXPECT_EQ(tr.count_in_subtree(r1, "net.msg"), 1);
+  EXPECT_EQ(tr.count_in_subtree(r2, "net.msg"), 1);
+}
+
+}  // namespace
+}  // namespace c4h::obs
