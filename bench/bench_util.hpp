@@ -6,6 +6,8 @@
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <string>
 #include <vector>
 
@@ -15,6 +17,33 @@
 #include "src/vstore/home_cloud.hpp"
 
 namespace c4h::bench {
+
+/// The flags every bench understands. `--quick` selects the CI smoke subset,
+/// `--seed N` re-seeds the whole run (same seed ⇒ byte-identical artifact),
+/// `--nodes N` sets the home-cloud device count where the bench is
+/// node-count-parametric.
+struct BenchArgs {
+  bool quick = false;
+  std::uint64_t seed = 42;
+  int nodes = 6;
+};
+
+/// Parses the shared flags; unknown arguments are ignored so benches with
+/// extra flags (or Google Benchmark's own) can layer their parsing on top.
+inline BenchArgs parse_args(int argc, char** argv, BenchArgs defaults = {}) {
+  BenchArgs a = defaults;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      a.quick = true;
+    } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+      a.seed = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--nodes") == 0 && i + 1 < argc) {
+      const int n = std::atoi(argv[++i]);
+      if (n > 0) a.nodes = n;
+    }
+  }
+  return a;
+}
 
 inline void header(const std::string& title, const std::string& paper_ref) {
   std::printf("\n================================================================\n");

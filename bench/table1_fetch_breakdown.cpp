@@ -10,8 +10,6 @@
 // lookup, `vstore.fetch.attempt` minus its lookups gives the inter-node
 // movement, and the `vmm.xensocket` child gives the inter-domain delivery.
 // `--quick` runs a two-size subset (the CI smoke lane).
-#include <cstring>
-
 #include "bench/bench_util.hpp"
 
 namespace c4h {
@@ -43,7 +41,8 @@ Breakdown from_trace(const obs::Tracer& tracer) {
   return b;
 }
 
-void run(bool quick) {
+void run(const bench::BenchArgs& args) {
+  const bool quick = args.quick;
   const std::vector<Bytes> sizes = quick
                                        ? std::vector<Bytes>{1_MB, 10_MB}
                                        : std::vector<Bytes>{1_MB,  2_MB,  5_MB, 10_MB,
@@ -57,6 +56,7 @@ void run(bool quick) {
 
   vstore::HomeCloudConfig cfg;
   cfg.start_monitors = false;
+  cfg.seed = args.seed;
   vstore::HomeCloud hc{cfg};
   hc.bootstrap();
 
@@ -112,10 +112,6 @@ void run(bool quick) {
 }  // namespace c4h
 
 int main(int argc, char** argv) {
-  bool quick = false;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
-  }
-  c4h::run(quick);
+  c4h::run(c4h::bench::parse_args(argc, argv));
   return 0;
 }

@@ -22,3 +22,10 @@ c4h_bench(ablation_design c4h_vstore c4h_trace)
 c4h_bench(scaling_study c4h_vstore)
 c4h_bench(micro_substrate c4h_mon c4h_overlay)
 target_link_libraries(micro_substrate PRIVATE benchmark::benchmark)
+
+# Workload scenario family (DESIGN.md §11): multi-tenant traffic against the
+# full home cloud, emitting tail-latency (p50/p99/p999) series.
+c4h_bench(scenario_iot_telemetry c4h_workload)
+c4h_bench(scenario_flash_crowd c4h_workload)
+c4h_bench(scenario_mixed_tenants c4h_workload)
+c4h_bench(scenario_edonkey_replay c4h_workload)

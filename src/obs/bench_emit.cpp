@@ -3,6 +3,7 @@
 #include <cstdio>
 
 #include "src/obs/json.hpp"
+#include "src/obs/metrics.hpp"
 
 namespace c4h::obs {
 
@@ -65,6 +66,16 @@ Result<std::string> BenchReport::write(const std::string& dir) const {
     return Error{Errc::io_error, "short write to " + path};
   }
   return path;
+}
+
+void add_latency_tails(BenchReport& report, const std::string& label,
+                       const std::string& metric, const LogHistogram& h) {
+  constexpr double kNsToMs = 1e-6;
+  report.add(label, metric + ".count", static_cast<double>(h.count()), "count");
+  report.add(label, metric + ".mean", h.mean() * kNsToMs, "ms");
+  report.add(label, metric + ".p50", static_cast<double>(h.quantile(50.0)) * kNsToMs, "ms");
+  report.add(label, metric + ".p99", static_cast<double>(h.quantile(99.0)) * kNsToMs, "ms");
+  report.add(label, metric + ".p999", static_cast<double>(h.quantile(99.9)) * kNsToMs, "ms");
 }
 
 }  // namespace c4h::obs

@@ -29,6 +29,8 @@
 
 namespace c4h::obs {
 
+class LogHistogram;  // metrics.hpp
+
 struct BenchPoint {
   std::string label;   // row / series key, e.g. "10MB" or "home_vs_remote"
   std::string metric;  // measured quantity, e.g. "fetch.total"
@@ -60,5 +62,14 @@ class BenchReport {
   std::vector<std::pair<std::string, std::string>> meta_;
   std::vector<BenchPoint> series_;
 };
+
+/// Appends the tail-latency rows for one histogram whose samples are
+/// nanoseconds: `<metric>.count`, `.mean`, `.p50`, `.p99`, `.p999` (times in
+/// ms). Quantiles are LogHistogram bucket lower bounds — deterministic,
+/// integer-only, ≤2× relative error — so same-seed runs emit byte-identical
+/// tails. This is the c4h-bench-v1 extension the workload scenarios use:
+/// tails, not means, are the tracked production numbers (ROADMAP item 3).
+void add_latency_tails(BenchReport& report, const std::string& label,
+                       const std::string& metric, const LogHistogram& h);
 
 }  // namespace c4h::obs

@@ -1,0 +1,93 @@
+// Arrival processes for workload generation: open-loop (rate-driven) and
+// closed-loop (think-time-driven) request streams, with deterministic
+// time-varying rate modulation — a diurnal day/night cycle plus flash-crowd
+// windows that multiply the instantaneous rate.
+//
+// Everything is a pure function of (spec, seed): inter-arrival gaps come
+// from a forked Rng stream, and the modulation is evaluated at the *current*
+// arrival time, so two generators with identical specs and seeds emit
+// byte-identical schedules.
+#pragma once
+
+#include <cmath>
+#include <numbers>
+#include <vector>
+
+#include "src/common/rng.hpp"
+#include "src/common/units.hpp"
+
+namespace c4h::workload {
+
+/// Raised-sine day/night cycle: the instantaneous rate multiplier swings
+/// between (1 - amplitude) and (1 + amplitude) over one period. Simulated
+/// scenarios compress the "day" to tens of seconds; the shape, not the wall
+/// length, is what matters.
+struct DiurnalSpec {
+  bool enabled = false;
+  Duration period = seconds(60);
+  double amplitude = 0.5;  // in [0, 1)
+  double phase = 0.0;      // fraction of a period offset at t = 0
+};
+
+/// A flash crowd: between `start` and `start + duration` the tenant's
+/// arrival rate is multiplied by `multiplier`.
+struct FlashCrowdSpec {
+  TimePoint start{};
+  Duration duration{};
+  double multiplier = 1.0;
+};
+
+/// The combined time-varying rate multiplier (diurnal × active crowds).
+class RateModulation {
+ public:
+  RateModulation() = default;
+  RateModulation(DiurnalSpec diurnal, std::vector<FlashCrowdSpec> crowds)
+      : diurnal_(diurnal), crowds_(std::move(crowds)) {}
+
+  double at(TimePoint t) const {
+    double m = 1.0;
+    if (diurnal_.enabled && diurnal_.period > Duration::zero()) {
+      const double frac =
+          to_seconds(t) / to_seconds(diurnal_.period) + diurnal_.phase;
+      m *= 1.0 + diurnal_.amplitude * std::sin(2.0 * std::numbers::pi * frac);
+    }
+    for (const FlashCrowdSpec& c : crowds_) {
+      if (t >= c.start && t < c.start + c.duration) m *= c.multiplier;
+    }
+    return m > 0.0 ? m : 0.0;
+  }
+
+ private:
+  DiurnalSpec diurnal_;
+  std::vector<FlashCrowdSpec> crowds_;
+};
+
+/// Open-loop arrivals: requests fire at the scheduled times regardless of
+/// completion (the production-traffic model — queues build when the system
+/// falls behind). rate 0 disables the open-loop stream (closed-loop tenant).
+struct OpenLoopSpec {
+  double rate_per_sec = 0.0;
+  bool poisson = true;  // false: deterministic equal gaps (telemetry beacons)
+};
+
+/// Closed-loop clients: each client issues a request, awaits completion,
+/// thinks for an exponential gap, repeats.
+struct ClosedLoopSpec {
+  int clients = 0;
+  Duration mean_think = milliseconds(500);
+};
+
+/// Generates the next inter-arrival gap of an open-loop stream whose base
+/// rate is modulated at the current time. Poisson streams draw exponential
+/// gaps (drawn even when the modulated rate is zero, keeping the Rng stream
+/// position a pure function of the arrival count); deterministic streams
+/// space arrivals evenly at the modulated rate.
+inline Duration next_gap(const OpenLoopSpec& spec, const RateModulation& mod,
+                         TimePoint now, Rng& rng) {
+  const double rate = spec.rate_per_sec * mod.at(now);
+  const double draw = spec.poisson ? rng.exponential(1.0) : 1.0;
+  if (rate <= 0.0) return seconds(3600);  // dead stream: skip far ahead
+  return from_seconds(draw / rate);
+}
+
+}  // namespace c4h::workload

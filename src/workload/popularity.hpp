@@ -1,0 +1,52 @@
+// Object-popularity distributions for workload generation.
+//
+// Rng::zipf walks the pmf in O(n) per sample, which is fine for setup-sized
+// draws but not for million-op schedules. ZipfTable precomputes the CDF once
+// and samples by binary search, and exposes the analytic pmf so property
+// tests can compare empirical frequencies against the exact distribution.
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+#include "src/common/rng.hpp"
+
+namespace c4h::workload {
+
+/// Zipf(s) over ranks [0, n): P(k) ∝ 1/(k+1)^s. O(n) construction,
+/// O(log n) sampling.
+class ZipfTable {
+ public:
+  ZipfTable(std::size_t n, double s) : cdf_(n) {
+    assert(n > 0);
+    double h = 0.0;
+    for (std::size_t k = 0; k < n; ++k) {
+      h += 1.0 / std::pow(static_cast<double>(k + 1), s);
+      cdf_[k] = h;
+    }
+    for (double& c : cdf_) c /= h;
+    cdf_.back() = 1.0;  // guard against accumulated rounding
+  }
+
+  std::size_t n() const { return cdf_.size(); }
+
+  /// Exact probability of rank k.
+  double pmf(std::size_t k) const {
+    return k == 0 ? cdf_[0] : cdf_[k] - cdf_[k - 1];
+  }
+
+  std::size_t sample(Rng& rng) const {
+    const double u = rng.uniform();
+    const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+    const auto idx = static_cast<std::size_t>(it - cdf_.begin());
+    return idx < cdf_.size() ? idx : cdf_.size() - 1;
+  }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace c4h::workload

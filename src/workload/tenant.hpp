@@ -1,0 +1,105 @@
+// Multi-tenant workload specification. Each tenant models one application
+// population sharing the home cloud — a media-sharing household member, a
+// surveillance pipeline, a swarm of IoT sensors — and carries its own
+// principal, ACL (acl.hpp), storage/decision policies, operation mix,
+// object catalog shape, and arrival process. The generator (workload.hpp)
+// interleaves the tenants into one deterministic schedule.
+#pragma once
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/common/rng.hpp"
+#include "src/common/units.hpp"
+#include "src/services/service.hpp"
+#include "src/vstore/acl.hpp"
+#include "src/vstore/policy.hpp"
+#include "src/workload/arrival.hpp"
+
+namespace c4h::workload {
+
+enum class OpKind : std::uint8_t { store, fetch, process, fetch_process };
+
+constexpr const char* to_string(OpKind k) {
+  switch (k) {
+    case OpKind::store: return "store";
+    case OpKind::fetch: return "fetch";
+    case OpKind::process: return "process";
+    case OpKind::fetch_process: return "fetch_process";
+  }
+  return "?";
+}
+
+/// Relative operation weights; sampling normalizes, so {3, 1, 0, 0} reads
+/// "3 stores per fetch".
+struct OpMix {
+  double store = 0.0;
+  double fetch = 1.0;
+  double process = 0.0;
+  double fetch_process = 0.0;
+
+  double total() const { return store + fetch + process + fetch_process; }
+
+  double weight(OpKind k) const {
+    switch (k) {
+      case OpKind::store: return store;
+      case OpKind::fetch: return fetch;
+      case OpKind::process: return process;
+      case OpKind::fetch_process: return fetch_process;
+    }
+    return 0.0;
+  }
+
+  OpKind sample(Rng& rng) const {
+    const double t = total();
+    assert(t > 0.0);
+    double u = rng.uniform() * t;
+    if ((u -= store) < 0.0) return OpKind::store;
+    if ((u -= fetch) < 0.0) return OpKind::fetch;
+    if ((u -= process) < 0.0) return OpKind::process;
+    return OpKind::fetch_process;
+  }
+};
+
+/// Object sizes are drawn uniformly from [min, max] at catalog-build time;
+/// an object keeps its size for the whole run (re-stores overwrite with the
+/// same bytes, so a fetch that returns a mismatched size is wrong data).
+struct ObjectSizeSpec {
+  Bytes min = 256_KB;
+  Bytes max = 4_MB;
+};
+
+struct TenantSpec {
+  std::string name;
+
+  /// Who the tenant's application VMs act as (drives acl.hpp checks) and
+  /// what its stored objects carry.
+  vstore::Principal principal;
+  vstore::Acl acl;                // attached to every object the tenant stores
+  bool private_objects = false;   // tag objects "private"
+  std::string object_type = "jpg";
+
+  vstore::StoragePolicy store_policy = vstore::StoragePolicy::local_first();
+  vstore::DecisionPolicy decision = vstore::DecisionPolicy::performance;
+
+  OpMix mix;
+  std::size_t object_count = 64;  // catalog size (preloaded before the run)
+  double zipf_s = 0.8;            // popularity skew over the fetchable set
+  ObjectSizeSpec size;
+
+  /// Names of other tenants whose catalogs this tenant also fetches /
+  /// processes (content sharing; subject to those objects' ACLs). Store ops
+  /// always target the tenant's own catalog.
+  std::vector<std::string> fetch_from;
+
+  /// Service invoked by process / fetch_process ops; required iff the mix
+  /// gives them weight. The scenario registers and deploys it.
+  std::optional<services::ServiceProfile> service;
+
+  OpenLoopSpec arrival;   // rate > 0 → open-loop schedule entries
+  ClosedLoopSpec closed;  // clients > 0 → live closed-loop drivers
+};
+
+}  // namespace c4h::workload

@@ -19,6 +19,7 @@
 
 #include "src/sim/fault.hpp"
 #include "src/vstore/home_cloud.hpp"
+#include "src/workload/workload.hpp"
 
 namespace c4h::vstore {
 namespace {
@@ -274,6 +275,148 @@ TEST(ChaosDeterminism, DifferentSeedsDiverge) {
   const ChaosResult b = run_chaos(222);
   EXPECT_NE(a.fp, b.fp);
 }
+
+// ---------------------------------------------------------------------------
+// Workload-scenario soak: the src/workload generator + Driver running a small
+// two-tenant mix under crash churn and uplink flaps. After the faults settle,
+// every store the Driver acknowledged must fetch back with exactly its
+// catalog size — an acked-then-unfetchable object is a lost write.
+
+workload::WorkloadSpec soak_spec(std::uint64_t seed) {
+  workload::WorkloadSpec spec;
+  spec.seed = seed;
+  spec.duration = seconds(30);
+
+  workload::TenantSpec writer;
+  writer.name = "writer";
+  writer.principal = {"writer", TrustLevel::trusted};
+  writer.acl.allow("*", {Right::read});  // verification reads from any node
+  writer.mix = {0.7, 0.3, 0.0, 0.0};
+  writer.object_count = 24;
+  writer.size = {64_KB, 512_KB};
+  writer.arrival.rate_per_sec = 6.0;
+  spec.tenants.push_back(writer);
+
+  workload::TenantSpec reader;
+  reader.name = "reader";
+  reader.principal = {"reader", TrustLevel::trusted};
+  reader.acl.allow("*", {Right::read});
+  reader.mix = {0.2, 0.8, 0.0, 0.0};
+  reader.object_count = 12;
+  reader.size = {64_KB, 256_KB};
+  reader.fetch_from = {"writer"};
+  reader.arrival.rate_per_sec = 4.0;
+  spec.tenants.push_back(reader);
+
+  return spec;
+}
+
+struct WorkloadChaosResult {
+  std::size_t acked = 0;
+  int lost = 0;
+  std::string lost_detail;
+  std::uint64_t issued = 0;
+  std::uint64_t wrong = 0;
+  std::uint64_t crashes = 0;
+  std::uint64_t flaps = 0;
+  bool all_online = false;
+};
+
+WorkloadChaosResult run_workload_chaos(std::uint64_t seed) {
+  HomeCloudConfig cfg;
+  cfg.netbooks = 5;
+  cfg.kv.replication = 2;
+  cfg.kv.ack_replication = true;
+  cfg.start_stabilization = true;
+  cfg.start_monitors = false;
+  cfg.seed = seed;
+  HomeCloud hc{cfg};
+  hc.bootstrap();
+
+  sim::FaultSpec spec;
+  spec.msg_drop = 0.08;
+  spec.msg_delay = 0.05;
+  spec.mean_crash_interval = seconds(8);
+  spec.mean_downtime = seconds(3);
+  spec.mean_flap_interval = seconds(10);
+  spec.mean_flap_duration = seconds(2);
+  spec.horizon = seconds(35);
+  sim::FaultPlan& plan = hc.enable_chaos(spec);
+
+  workload::Driver driver{hc, soak_spec(seed)};
+  WorkloadChaosResult out;
+
+  hc.run([](HomeCloud& h, workload::Driver& d, sim::FaultPlan& fp, std::uint64_t sd,
+            WorkloadChaosResult& r) -> Task<> {
+    auto& sim = h.sim();
+    const workload::Schedule schedule = workload::generate(soak_spec(sd));
+    co_await d.drive(schedule);
+
+    // Settle: past the fault horizon, every node back online, faults off,
+    // then a repair/re-replication tail.
+    while (sim.now() < fp.deadline()) co_await sim.delay(seconds(1));
+    for (int i = 0; i < 60; ++i) {
+      bool all = true;
+      for (std::size_t j = 0; j < h.node_count(); ++j) {
+        if (!h.node(j).online()) all = false;
+      }
+      if (all) break;
+      co_await sim.delay(seconds(1));
+    }
+    fp.disarm();
+    co_await sim.delay(seconds(5));
+
+    r.all_online = true;
+    for (std::size_t j = 0; j < h.node_count(); ++j) {
+      if (!h.node(j).online()) r.all_online = false;
+    }
+
+    VStoreNode* reader = nullptr;
+    for (std::size_t j = 0; j < h.node_count(); ++j) {
+      if (h.node(j).online()) {
+        reader = &h.node(j);
+        break;
+      }
+    }
+    if (reader == nullptr) co_return;
+    for (const auto& [name, size] : d.result().acked) {
+      auto fetched = co_await reader->fetch_object(name);
+      if (!fetched.ok()) {
+        ++r.lost;
+        r.lost_detail += name + ": " + std::string(to_string(fetched.code())) + "; ";
+      } else if (fetched->size != size) {
+        ++r.lost;
+        r.lost_detail += name + ": wrong size; ";
+      }
+    }
+    r.acked = d.result().acked.size();
+  }(hc, driver, plan, seed, out));
+
+  out.issued = driver.result().issued();
+  out.wrong = driver.result().wrong();
+  out.crashes = plan.stats().crashes;
+  out.flaps = plan.stats().uplink_flaps;
+  return out;
+}
+
+class WorkloadChaosSoak : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(WorkloadChaosSoak, NoAckedWriteLostUnderChurnAndFlaps) {
+  const std::uint64_t seed = GetParam();
+  const WorkloadChaosResult r = run_workload_chaos(seed);
+
+  // The run must have exercised both the workload and the fault layer.
+  EXPECT_GT(r.issued, 50u) << "seed " << seed;
+  EXPECT_GT(r.acked, 10u) << "seed " << seed;
+  EXPECT_GT(r.crashes + r.flaps, 0u) << "seed " << seed;
+
+  EXPECT_TRUE(r.all_online) << "seed " << seed << ": a crashed node never restarted";
+  EXPECT_EQ(r.lost, 0) << "seed " << seed << ": acknowledged store lost [" << r.lost_detail
+                       << "]";
+  EXPECT_EQ(r.wrong, 0u) << "seed " << seed << ": fetch returned wrong data mid-run";
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WorkloadChaosSoak, ::testing::Values(8101, 8102, 8103));
 
 }  // namespace
 }  // namespace c4h::vstore

@@ -1,0 +1,83 @@
+// Fixed-seed golden smoke test for the scenario bench family: runs
+// scenario_iot_telemetry --quick twice with the same seed in separate
+// scratch directories, asserts the emitted BENCH JSON artifacts are
+// byte-identical, and validates the artifact against schema c4h-bench-v1
+// including the tail-latency (p50/p99/p999) rows the scenarios add.
+//
+// The scenario binary's path is injected by CMake (C4H_SCENARIO_BIN).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+
+#include "src/obs/json.hpp"
+
+namespace {
+
+// Runs the scenario in `dir` (created fresh) and returns the artifact text.
+std::string run_scenario_in(const std::string& dir) {
+  const std::string cmd = "rm -rf " + dir + " && mkdir -p " + dir + " && cd " + dir +
+                          " && " + C4H_SCENARIO_BIN + " --quick --seed 97 > run.log 2>&1";
+  EXPECT_EQ(std::system(cmd.c_str()), 0) << "scenario run failed, see " << dir << "/run.log";
+  std::ifstream in(dir + "/BENCH_scenario_iot_telemetry.json");
+  EXPECT_TRUE(in.good()) << "artifact missing in " << dir;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+std::string scratch(const std::string& leaf) {
+  const char* base = std::getenv("TMPDIR");
+  return std::string(base != nullptr ? base : "/tmp") + "/c4h_scenario_golden_" + leaf;
+}
+
+TEST(ScenarioGolden, SameSeedRunsAreByteIdenticalAndSchemaValid) {
+  const std::string a = run_scenario_in(scratch("a"));
+  const std::string b = run_scenario_in(scratch("b"));
+  ASSERT_FALSE(a.empty());
+  EXPECT_EQ(a, b) << "same-seed scenario runs must emit byte-identical artifacts";
+
+  const auto parsed = c4h::obs::json_parse(a);
+  ASSERT_TRUE(parsed.ok()) << parsed.error().message;
+  const c4h::obs::JsonValue& root = *parsed;
+
+  const auto* schema = root.find("schema");
+  ASSERT_NE(schema, nullptr);
+  EXPECT_EQ(schema->str, "c4h-bench-v1");
+  const auto* bench = root.find("bench");
+  ASSERT_NE(bench, nullptr);
+  EXPECT_EQ(bench->str, "scenario_iot_telemetry");
+  const auto* seed = root.find("seed");
+  ASSERT_NE(seed, nullptr);
+  EXPECT_EQ(seed->num, 97.0);
+
+  const auto* series = root.find("series");
+  ASSERT_NE(series, nullptr);
+  ASSERT_FALSE(series->items.empty());
+
+  // Every row carries label/metric/value/unit; the tail extension must be
+  // present for at least one workload histogram (count, mean, p50/p99/p999).
+  std::set<std::string> suffixes;
+  for (const auto& row : series->items) {
+    for (const char* key : {"label", "metric", "unit"}) {
+      const auto* v = row.find(key);
+      ASSERT_NE(v, nullptr);
+      EXPECT_EQ(v->kind, c4h::obs::JsonValue::Kind::string);
+    }
+    const auto* value = row.find("value");
+    ASSERT_NE(value, nullptr);
+    EXPECT_EQ(value->kind, c4h::obs::JsonValue::Kind::number);
+    const std::string& metric = row.find("metric")->str;
+    const auto dot = metric.rfind('.');
+    if (dot != std::string::npos) suffixes.insert(metric.substr(dot + 1));
+  }
+  for (const char* tail : {"count", "mean", "p50", "p99", "p999"}) {
+    EXPECT_TRUE(suffixes.contains(tail)) << "missing tail row: " << tail;
+  }
+}
+
+}  // namespace
