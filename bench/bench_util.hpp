@@ -21,11 +21,13 @@ namespace c4h::bench {
 /// The flags every bench understands. `--quick` selects the CI smoke subset,
 /// `--seed N` re-seeds the whole run (same seed ⇒ byte-identical artifact),
 /// `--nodes N` sets the home-cloud device count where the bench is
-/// node-count-parametric.
+/// node-count-parametric, `--neighborhoods N` sets the City's neighborhood
+/// count where the bench runs over the federation tier.
 struct BenchArgs {
   bool quick = false;
   std::uint64_t seed = 42;
   int nodes = 6;
+  int neighborhoods = 4;
 };
 
 /// Parses the shared flags; unknown arguments are ignored so benches with
@@ -40,6 +42,9 @@ inline BenchArgs parse_args(int argc, char** argv, BenchArgs defaults = {}) {
     } else if (std::strcmp(argv[i], "--nodes") == 0 && i + 1 < argc) {
       const int n = std::atoi(argv[++i]);
       if (n > 0) a.nodes = n;
+    } else if (std::strcmp(argv[i], "--neighborhoods") == 0 && i + 1 < argc) {
+      const int n = std::atoi(argv[++i]);
+      if (n > 0) a.neighborhoods = n;
     }
   }
   return a;

@@ -29,3 +29,6 @@ c4h_bench(scenario_iot_telemetry c4h_workload)
 c4h_bench(scenario_flash_crowd c4h_workload)
 c4h_bench(scenario_mixed_tenants c4h_workload)
 c4h_bench(scenario_edonkey_replay c4h_workload)
+# City-scale federation scenario (DESIGN.md §12): cross-neighborhood tenants
+# over the two-tier overlay, tails split by fetch path.
+c4h_bench(scenario_federation c4h_workload c4h_federation)

@@ -1,0 +1,59 @@
+#include "src/federation/neighborhood.hpp"
+
+#include "src/vstore/home_cloud.hpp"
+
+namespace c4h::vstore {
+
+sim::FaultPlan& City::enable_chaos(const sim::FaultSpec& spec) {
+  sim::FaultPlan& plan = sim::install_fault_plan(*sim_, spec);
+
+  // Victim space: every node of every home, enumerated home-major over the
+  // deterministic interleaved all_homes() order. Each home's own safety
+  // floor still applies — a crash that would strand a fully-replicated key
+  // inside one home is refused, and the plan moves on.
+  const std::vector<HomeCloud*> homes = all_homes();
+
+  sim::ChurnHooks hooks;
+  hooks.victim_count = [homes] {
+    std::size_t n = 0;
+    for (const HomeCloud* h : homes) n += h->node_count();
+    return n;
+  };
+  hooks.crash = [homes](std::size_t victim) {
+    std::size_t v = victim;
+    for (HomeCloud* h : homes) {
+      if (v < h->node_count()) return h->crash_node(v);
+      v -= h->node_count();
+    }
+    return false;
+  };
+  hooks.restart = [homes](std::size_t victim) {
+    std::size_t v = victim;
+    for (HomeCloud* h : homes) {
+      if (v < h->node_count()) {
+        h->restart_node_async(v);
+        return;
+      }
+      v -= h->node_count();
+    }
+  };
+  // Uplink flaps rotate across homes: each flap parks one home's WAN (a
+  // different one each time), isolating that home from the wide area while
+  // the rest of the city keeps serving.
+  hooks.uplink_down = [this, homes](bool down) {
+    if (homes.empty()) return;
+    if (down) {
+      flapped_home_ = homes[flap_cursor_ % homes.size()];
+      ++flap_cursor_;
+      flapped_home_->set_wan_rates(Rate{1.0}, Rate{1.0});
+    } else if (flapped_home_ != nullptr) {
+      const HomeCloudConfig& hc = flapped_home_->config();
+      flapped_home_->set_wan_rates(hc.wan_up, hc.wan_down);
+      flapped_home_ = nullptr;
+    }
+  };
+  plan.start_churn(hooks);
+  return plan;
+}
+
+}  // namespace c4h::vstore

@@ -10,8 +10,8 @@
 // straight from S3 when the object already lives in the shared cloud.
 #pragma once
 
+#include <map>
 #include <string>
-#include <unordered_map>
 
 #include "src/vstore/home_cloud.hpp"
 
@@ -71,7 +71,9 @@ class Federation {
                                    Bytes reply = 200);
 
   vstore::Neighborhood& hood_;
-  std::unordered_map<std::string, DirEntry> directory_;
+  // Ordered so directory sweeps (repair/placement in the geo tier share the
+  // idiom) stay deterministic under c4h-lint R3.
+  std::map<std::string, DirEntry> directory_;
   FederationStats stats_;
 };
 

@@ -4,63 +4,118 @@
 // system in which multiple Cloud4Home systems interact to provide effective
 // security services for entire neighborhoods."
 //
-// A Neighborhood is the shared world several HomeClouds live in: one
-// simulation clock, one network (each home's gateway uplinks into an
-// internet core, with the public cloud attached to the core), and one
-// public cloud (S3 + EC2) serving all homes. Homes remain autonomous —
-// each keeps its own overlay, key-value store, monitors, and policies —
-// and interact only through the Federation directory (federation.hpp).
+// Two tiers of shared world live here:
+//
+//  * A Neighborhood is the world several HomeClouds share: one simulation
+//    clock, one network (each home's gateway uplinks into an internet core,
+//    with the public cloud attached), one public cloud (S3 + EC2). Homes
+//    remain autonomous — each keeps its own overlay, key-value store,
+//    monitors, and policies — and interact only through the federation
+//    directories (federation.hpp, geo_federation.hpp).
+//
+//  * A City federates many Neighborhoods into a metro-scale deployment:
+//    every neighborhood's internet core becomes a *leaf* that uplinks into a
+//    small set of *spine* switches (a leaf/spine wide-area core), and the
+//    public cloud hangs off the spine as the one datacenter every
+//    neighborhood can reach. A neighborhood's distance to the spine
+//    (`NeighborhoodConfig::spine_latency`) is its geographic position;
+//    inter-neighborhood latency falls out of the routed leaf→spine→leaf
+//    path, so geo-aware policies read locality straight from src/net.
+//
+// A Neighborhood owns its whole world when standalone, or borrows the
+// City's (shared clock, shared topology, shared cloud) when built into one
+// — the same owned/borrowed split HomeCloud uses for Neighborhoods.
 #pragma once
 
+#include <cassert>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "src/cloud/cloud.hpp"
 #include "src/net/network.hpp"
+#include "src/obs/metrics.hpp"
+#include "src/sim/fault.hpp"
 #include "src/sim/simulation.hpp"
 
 namespace c4h::vstore {
 
 class HomeCloud;
+class Neighborhood;
 
 struct NeighborhoodConfig {
   std::uint64_t seed = 42;
-  // Internet core ↔ cloud datacenter: far above any home's access link.
+
+  /// Display name; distinguishes neighborhoods inside a City.
+  std::string name = "hood";
+
+  // Standalone mode — internet core ↔ cloud datacenter: far above any
+  // home's access link.
   Rate core_cloud_rate = mbps(1000);
   Duration core_cloud_latency = milliseconds(5);
+
+  // City mode — the leaf↔spine uplinks. `spine_latency` is this
+  // neighborhood's propagation distance to the metro core: the
+  // geo-coordinate the federation's locality policies observe.
+  Rate spine_rate = mbps(400);
+  Duration spine_latency = milliseconds(2);
 };
 
-class Neighborhood {
+struct CityConfig {
+  std::uint64_t seed = 42;
+
+  /// Spine switches in the wide-area core; every neighborhood leaf uplinks
+  /// to all of them.
+  int spines = 2;
+
+  // Spine ↔ cloud datacenter: the metro backbone's peering link.
+  Rate spine_cloud_rate = mbps(2000);
+  Duration spine_cloud_latency = milliseconds(4);
+};
+
+/// The metro-scale world: one clock, one topology with a leaf/spine core,
+/// one public cloud, and the neighborhoods federated across it.
+class City {
  public:
-  explicit Neighborhood(NeighborhoodConfig config = {})
-      : config_(config), sim_(config.seed) {
-    core_ = topo_.add_node();
-    cloud_ep_ = topo_.add_node();
-    topo_.add_duplex(core_, cloud_ep_, config_.core_cloud_rate, config_.core_cloud_latency);
+  explicit City(CityConfig config = {})
+      : config_(config),
+        sim_(std::make_unique<sim::Simulation>(config.seed)),
+        owned_topo_(std::make_unique<net::Topology>()) {
+    for (int i = 0; i < config_.spines; ++i) {
+      spines_.push_back(owned_topo_->add_node());
+    }
+    cloud_ep_ = owned_topo_->add_node();
+    for (const net::NetNodeId s : spines_) {
+      owned_topo_->add_duplex(s, cloud_ep_, config_.spine_cloud_rate,
+                              config_.spine_cloud_latency);
+    }
   }
 
-  Neighborhood(const Neighborhood&) = delete;
-  Neighborhood& operator=(const Neighborhood&) = delete;
+  City(const City&) = delete;
+  City& operator=(const City&) = delete;
 
-  sim::Simulation& sim() { return sim_; }
-  net::NetNodeId internet_core() const { return core_; }
+  sim::Simulation& sim() { return *sim_; }
+  int spine_count() const { return static_cast<int>(spines_.size()); }
+  net::NetNodeId spine(int i) const { return spines_.at(static_cast<std::size_t>(i)); }
   net::NetNodeId cloud_endpoint() const { return cloud_ep_; }
 
-  /// Topology is open for wiring until the first bootstrap() finalizes it.
+  /// Topology is open for wiring until the first network() finalizes it.
   net::Topology& topology() {
     assert(net_ == nullptr && "topology frozen after first bootstrap");
-    return topo_;
+    return *owned_topo_;
   }
 
-  /// Creates (on first call) and returns the shared network.
+  /// Creates (on first call) and returns the city-wide shared network.
+  /// City-wide message/flow counters land in this City's metrics registry.
   net::Network& network() {
     if (net_ == nullptr) {
-      net_ = std::make_unique<net::Network>(sim_, std::move(topo_));
+      net_ = std::make_unique<net::Network>(*sim_, std::move(*owned_topo_));
+      net_->set_metrics(&metrics_);
     }
     return *net_;
   }
 
-  /// The shared public cloud, created lazily against the shared network.
+  /// The one shared public cloud, created lazily against the shared network.
   cloud::S3Store& s3(const cloud::CloudTransport& transport) {
     if (s3_ == nullptr) {
       s3_ = std::make_unique<cloud::S3Store>(network(), cloud_ep_, transport);
@@ -69,7 +124,126 @@ class Neighborhood {
   }
   cloud::Ec2Instance& ec2() {
     if (ec2_ == nullptr) {
-      ec2_ = std::make_unique<cloud::Ec2Instance>(sim_, cloud_ep_,
+      ec2_ = std::make_unique<cloud::Ec2Instance>(*sim_, cloud_ep_,
+                                                  cloud::Ec2Instance::extra_large_spec("ec2-city"));
+    }
+    return *ec2_;
+  }
+
+  /// Called by the city-mode Neighborhood constructor; returns the
+  /// neighborhood's index (its identity in the federation tiers).
+  std::size_t register_neighborhood(Neighborhood* n) {
+    hoods_.push_back(n);
+    return hoods_.size() - 1;
+  }
+  const std::vector<Neighborhood*>& neighborhoods() const { return hoods_; }
+
+  /// City-scope metrics (federation counters/histograms, network totals).
+  obs::Registry& metrics() { return metrics_; }
+
+  /// Routed propagation latency between two neighborhoods' cores — the
+  /// geo-distance the federation's replica selection minimizes. Finalizes
+  /// the network on first use.
+  Duration site_latency(std::size_t a, std::size_t b);
+
+  /// Every home in the city, interleaved round-robin across neighborhoods
+  /// (hood0.home0, hood1.home0, ..., hood0.home1, ...): the deterministic
+  /// enumeration the federation tiers and workload drivers share.
+  std::vector<HomeCloud*> all_homes() const;
+
+  /// Runs a coroutine to completion on the shared clock.
+  void run(sim::Task<> t) { sim_->run_task(std::move(t)); }
+
+  /// Arms deterministic city-wide fault injection: node crash/restart churn
+  /// sweeps every home in every neighborhood (each home's per-home safety
+  /// floor still applies), and uplink flaps rotate across homes. Must follow
+  /// every home's bootstrap(). Defined in city.cpp (needs HomeCloud).
+  sim::FaultPlan& enable_chaos(const sim::FaultSpec& spec);
+
+ private:
+  CityConfig config_;
+  std::unique_ptr<sim::Simulation> sim_;
+  std::unique_ptr<net::Topology> owned_topo_;
+  std::vector<net::NetNodeId> spines_;
+  net::NetNodeId cloud_ep_;
+  std::unique_ptr<net::Network> net_;
+  std::unique_ptr<cloud::S3Store> s3_;
+  std::unique_ptr<cloud::Ec2Instance> ec2_;
+  std::vector<Neighborhood*> hoods_;
+  obs::Registry metrics_;
+  // Chaos bookkeeping: which home the current uplink flap hit.
+  std::size_t flap_cursor_ = 0;
+  HomeCloud* flapped_home_ = nullptr;
+};
+
+class Neighborhood {
+ public:
+  /// Standalone neighborhood: owns its simulation, topology, and cloud.
+  explicit Neighborhood(NeighborhoodConfig config = {})
+      : config_(std::move(config)),
+        owned_sim_(std::make_unique<sim::Simulation>(config_.seed)),
+        sim_(owned_sim_.get()),
+        owned_topo_(std::make_unique<net::Topology>()) {
+    core_ = owned_topo_->add_node();
+    cloud_ep_ = owned_topo_->add_node();
+    owned_topo_->add_duplex(core_, cloud_ep_, config_.core_cloud_rate,
+                            config_.core_cloud_latency);
+  }
+
+  /// Federated neighborhood: built into a City. The core becomes a leaf of
+  /// the city's spine; clock, topology, and public cloud are the city's.
+  Neighborhood(City& city, NeighborhoodConfig config)
+      : config_(std::move(config)), city_(&city), sim_(&city.sim()) {
+    net::Topology& topo = city.topology();
+    core_ = topo.add_node();
+    for (int i = 0; i < city.spine_count(); ++i) {
+      topo.add_duplex(core_, city.spine(i), config_.spine_rate, config_.spine_latency);
+    }
+    cloud_ep_ = city.cloud_endpoint();
+    city_index_ = city.register_neighborhood(this);
+  }
+
+  Neighborhood(const Neighborhood&) = delete;
+  Neighborhood& operator=(const Neighborhood&) = delete;
+
+  sim::Simulation& sim() { return *sim_; }
+  net::NetNodeId internet_core() const { return core_; }
+  net::NetNodeId cloud_endpoint() const { return cloud_ep_; }
+  const NeighborhoodConfig& config() const { return config_; }
+
+  /// The owning City (nullptr when standalone) and this neighborhood's
+  /// index in it.
+  City* city() const { return city_; }
+  std::size_t city_index() const { return city_index_; }
+
+  /// Topology is open for wiring until the first bootstrap() finalizes it.
+  net::Topology& topology() {
+    if (city_ != nullptr) return city_->topology();
+    assert(net_ == nullptr && "topology frozen after first bootstrap");
+    return *owned_topo_;
+  }
+
+  /// Creates (on first call) and returns the shared network.
+  net::Network& network() {
+    if (city_ != nullptr) return city_->network();
+    if (net_ == nullptr) {
+      net_ = std::make_unique<net::Network>(*sim_, std::move(*owned_topo_));
+    }
+    return *net_;
+  }
+
+  /// The shared public cloud — the city's when federated.
+  cloud::S3Store& s3(const cloud::CloudTransport& transport) {
+    if (city_ != nullptr) return city_->s3(transport);
+    if (s3_ == nullptr) {
+      s3_ = std::make_unique<cloud::S3Store>(network(), cloud_ep_, transport);
+    }
+    return *s3_;
+  }
+  cloud::Ec2Instance& ec2() {
+    if (city_ != nullptr) return city_->ec2();
+    if (ec2_ == nullptr) {
+      ec2_ = std::make_unique<cloud::Ec2Instance>(*sim_, cloud_ep_,
                                                   cloud::Ec2Instance::extra_large_spec("ec2-hood"));
     }
     return *ec2_;
@@ -79,18 +253,41 @@ class Neighborhood {
   const std::vector<HomeCloud*>& homes() const { return homes_; }
 
   /// Runs a coroutine to completion on the shared clock.
-  void run(sim::Task<> t) { sim_.run_task(std::move(t)); }
+  void run(sim::Task<> t) { sim_->run_task(std::move(t)); }
 
  private:
   NeighborhoodConfig config_;
-  sim::Simulation sim_;
-  net::Topology topo_;
+  City* city_ = nullptr;
+  std::size_t city_index_ = 0;
+  std::unique_ptr<sim::Simulation> owned_sim_;  // standalone only
+  sim::Simulation* sim_ = nullptr;
+  std::unique_ptr<net::Topology> owned_topo_;   // standalone, pre-finalize
   net::NetNodeId core_;
   net::NetNodeId cloud_ep_;
-  std::unique_ptr<net::Network> net_;
-  std::unique_ptr<cloud::S3Store> s3_;
-  std::unique_ptr<cloud::Ec2Instance> ec2_;
+  std::unique_ptr<net::Network> net_;           // standalone only
+  std::unique_ptr<cloud::S3Store> s3_;          // standalone only
+  std::unique_ptr<cloud::Ec2Instance> ec2_;     // standalone only
   std::vector<HomeCloud*> homes_;
 };
+
+inline Duration City::site_latency(std::size_t a, std::size_t b) {
+  return network().topology().path_latency(hoods_.at(a)->internet_core(),
+                                           hoods_.at(b)->internet_core());
+}
+
+inline std::vector<HomeCloud*> City::all_homes() const {
+  std::vector<HomeCloud*> out;
+  for (std::size_t i = 0;; ++i) {
+    bool any = false;
+    for (const Neighborhood* nb : hoods_) {
+      if (i < nb->homes().size()) {
+        out.push_back(nb->homes()[i]);
+        any = true;
+      }
+    }
+    if (!any) break;
+  }
+  return out;
+}
 
 }  // namespace c4h::vstore

@@ -172,30 +172,34 @@ sim::Task<> HomeCloud::restart_node(std::size_t i) {
   }
 }
 
+bool HomeCloud::crash_node(std::size_t i) {
+  VStoreNode& n = *nodes_[i % nodes_.size()];
+  if (!n.online()) return false;
+  // Safety floor: every key has at most replication+1 live holders
+  // (owner + replicas). Refuse any crash that would take the concurrent
+  // offline count past `replication`, so at least one live copy of every
+  // acknowledged entry always remains.
+  std::size_t offline = 0;
+  for (const auto& m : nodes_) {
+    if (!m->online()) ++offline;
+  }
+  if (offline + 1 > static_cast<std::size_t>(std::max(0, config_.kv.replication))) return false;
+  overlay_->crash(n.chimera());
+  return true;
+}
+
+void HomeCloud::restart_node_async(std::size_t i) {
+  sim_->spawn(restart_node(i % nodes_.size()));
+}
+
 sim::FaultPlan& HomeCloud::enable_chaos(const sim::FaultSpec& spec) {
   assert(finalized_ && "enable_chaos must follow bootstrap()");
   sim::FaultPlan& plan = sim::install_fault_plan(*sim_, spec);
 
   sim::ChurnHooks hooks;
   hooks.victim_count = [this] { return nodes_.size(); };
-  hooks.crash = [this](std::size_t victim) {
-    VStoreNode& n = *nodes_[victim % nodes_.size()];
-    if (!n.online()) return false;
-    // Safety floor: every key has at most replication+1 live holders
-    // (owner + replicas). Refuse any crash that would take the concurrent
-    // offline count past `replication`, so at least one live copy of every
-    // acknowledged entry always remains.
-    std::size_t offline = 0;
-    for (const auto& m : nodes_) {
-      if (!m->online()) ++offline;
-    }
-    if (offline + 1 > static_cast<std::size_t>(std::max(0, config_.kv.replication))) return false;
-    overlay_->crash(n.chimera());
-    return true;
-  };
-  hooks.restart = [this](std::size_t victim) {
-    sim_->spawn(restart_node(victim % nodes_.size()));
-  };
+  hooks.crash = [this](std::size_t victim) { return crash_node(victim); };
+  hooks.restart = [this](std::size_t victim) { restart_node_async(victim); };
   hooks.uplink_down = [this](bool down) {
     if (down) {
       set_wan_rates(Rate{1.0}, Rate{1.0});  // effectively parked, not severed

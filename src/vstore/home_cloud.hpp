@@ -181,6 +181,16 @@ class HomeCloud {
   /// simulation) for inspection and disarming.
   sim::FaultPlan& enable_chaos(const sim::FaultSpec& spec);
 
+  /// Crash node `i` now, subject to this home's safety floor (refuses when
+  /// one more concurrent offline node could strand a fully-replicated key).
+  /// Returns whether the crash happened. Shared by this home's own chaos
+  /// hooks and City-wide churn.
+  bool crash_node(std::size_t i);
+
+  /// Schedules node `i`'s restart (overlay re-join + monitor revival) as a
+  /// detached task on the simulation.
+  void restart_node_async(std::size_t i);
+
  private:
   sim::Task<> restart_node(std::size_t i);
 

@@ -1,0 +1,190 @@
+#include "src/workload/federation_driver.hpp"
+
+#include <cassert>
+
+namespace c4h::workload {
+
+using vstore::HomeCloud;
+using vstore::VStoreNode;
+
+std::uint64_t FedDriveResult::issued() const {
+  std::uint64_t n = 0;
+  for (const TenantStats& t : tenants) n += t.issued_total();
+  return n;
+}
+std::uint64_t FedDriveResult::ok() const {
+  std::uint64_t n = 0;
+  for (const TenantStats& t : tenants) n += t.ok_total();
+  return n;
+}
+std::uint64_t FedDriveResult::failed() const {
+  std::uint64_t n = 0;
+  for (const TenantStats& t : tenants) n += t.failed;
+  return n;
+}
+
+FederationDriver::FederationDriver(vstore::City& city, federation::GeoFederation& fed,
+                                   WorkloadSpec spec)
+    : city_(city), fed_(fed), spec_(std::move(spec)), homes_(city.all_homes()), done_(city.sim()) {
+  assert(!spec_.tenants.empty());
+  assert(!homes_.empty());
+  result_.tenants.resize(spec_.tenants.size());
+  issue_rr_.assign(spec_.tenants.size(), 0);
+  for (std::size_t t = 0; t < spec_.tenants.size(); ++t) {
+    result_.tenants[t].name = spec_.tenants[t].name;
+  }
+}
+
+VStoreNode* FederationDriver::pick_node(std::uint32_t tenant) {
+  HomeCloud& home = tenant_home(tenant);
+  for (std::size_t k = 0; k < home.node_count(); ++k) {
+    const std::size_t i = (issue_rr_[tenant] + k) % home.node_count();
+    if (home.node(i).online()) {
+      issue_rr_[tenant] = (i + 1) % home.node_count();
+      return &home.node(i);
+    }
+  }
+  return nullptr;
+}
+
+obs::LogHistogram& FederationDriver::latency_histogram(std::uint32_t tenant, OpKind kind) {
+  return city_.metrics().histogram("c4h.workload.fed_" + std::string(to_string(kind)) +
+                                   ".latency_ns{tenant=" + spec_.tenants[tenant].name + "}");
+}
+
+sim::Task<> FederationDriver::preload(const Schedule& s) {
+  for (const ObjectSpec& o : s.objects) {
+    const TenantSpec& ts = spec_.tenants[o.tenant];
+    HomeCloud& home = tenant_home(o.tenant);
+    VStoreNode* n = pick_node(o.tenant);
+    if (n == nullptr) continue;
+    n->set_principal(ts.principal);
+    vstore::ObjectMeta meta;
+    meta.name = o.name;
+    meta.type = o.type;
+    meta.size = o.size;
+    if (o.is_private) meta.tags.push_back("private");
+    meta.owner = ts.principal.user;
+    meta.acl = ts.acl;
+    vstore::StoreOptions opts;
+    opts.policy = ts.store_policy;
+    opts.decision = ts.decision;
+    auto created = co_await n->create_object(meta);
+    if (!created.ok()) continue;
+    auto stored = co_await n->store_object(o.name, opts);
+    if (!stored.ok()) continue;
+    auto pub = co_await fed_.publish(home, *n, o.name);
+    if (pub.ok()) result_.published[o.name] = o.size;
+  }
+}
+
+sim::Task<> FederationDriver::execute(const ScheduledOp& op, const Schedule& s) {
+  const ObjectSpec& obj = s.objects[op.object];
+  const TenantSpec& issuer = spec_.tenants[op.tenant];
+  const TenantSpec& owner = spec_.tenants[obj.tenant];
+  TenantStats& stats = result_.tenants[op.tenant];
+
+  HomeCloud& home = tenant_home(op.tenant);
+  VStoreNode* n = pick_node(op.tenant);
+  if (n == nullptr) {
+    ++stats.skipped;
+    co_return;
+  }
+  n->set_principal(issuer.principal);
+  const auto kind_idx = static_cast<std::size_t>(op.kind);
+  const TimePoint t0 = city_.sim().now();
+
+  Errc err = Errc::ok;
+  switch (op.kind) {
+    case OpKind::store: {
+      // Only the owner's home may (re-)store and republish the catalog
+      // object; a store scheduled on another tenant routes to its own home
+      // and keeps the catalog identity there.
+      ++stats.issued[kind_idx];
+      vstore::ObjectMeta meta;
+      meta.name = obj.name;
+      meta.type = obj.type;
+      meta.size = obj.size;
+      if (obj.is_private) meta.tags.push_back("private");
+      meta.owner = owner.principal.user;
+      meta.acl = owner.acl;
+      vstore::StoreOptions opts;
+      opts.policy = issuer.store_policy;
+      opts.decision = issuer.decision;
+      auto created = co_await n->create_object(meta);
+      if (!created.ok() && created.code() != Errc::already_exists) {
+        err = created.code();
+        break;
+      }
+      auto stored = co_await n->store_object(obj.name, opts);
+      if (!stored.ok()) {
+        err = stored.code();
+        break;
+      }
+      auto pub = co_await fed_.publish(home, *n, obj.name);
+      if (pub.ok()) {
+        result_.published[obj.name] = obj.size;
+      } else if (pub.code() != Errc::permission_denied) {
+        // Another home owns the published entry: the store itself still
+        // succeeded locally, so a denial is not a workload failure.
+        err = pub.code();
+      }
+      break;
+    }
+    case OpKind::fetch: {
+      ++stats.issued[kind_idx];
+      auto fetched = co_await fed_.fetch(home, *n, obj.name);
+      if (fetched.ok()) {
+        if (fetched->size != obj.size) ++stats.wrong;
+        if (&tenant_home(obj.tenant) != &home &&
+            tenant_home(obj.tenant).neighborhood()->city_index() !=
+                home.neighborhood()->city_index()) {
+          ++result_.cross_hood_fetches;
+        }
+      } else {
+        err = fetched.code();
+      }
+      break;
+    }
+    case OpKind::process:
+    case OpKind::fetch_process: {
+      // Remote execution over the federation is future work; schedules for
+      // this driver use store/fetch mixes.
+      ++stats.skipped;
+      co_return;
+    }
+  }
+
+  if (err == Errc::ok) {
+    ++stats.ok[kind_idx];
+    latency_histogram(op.tenant, op.kind)
+        .record(static_cast<std::uint64_t>((city_.sim().now() - t0).count()));
+  } else if (err == Errc::permission_denied) {
+    ++stats.denied;
+  } else {
+    ++stats.failed;
+    ++result_.errors[to_string(err)];
+  }
+}
+
+sim::Task<> FederationDriver::tracked(ScheduledOp op, const Schedule& s) {
+  co_await execute(op, s);
+  --pending_;
+  if (pending_ == 0 && draining_) done_.fire();
+}
+
+sim::Task<> FederationDriver::drive(const Schedule& s) {
+  co_await preload(s);
+  start_time_ = city_.sim().now();
+  auto& sim = city_.sim();
+  for (const ScheduledOp& op : s.ops) {
+    const TimePoint at = start_time_ + op.at;
+    if (at > sim.now()) co_await sim.delay(at - sim.now());
+    ++pending_;
+    sim.spawn(tracked(op, s));
+  }
+  draining_ = true;
+  if (pending_ > 0) co_await done_.wait();
+}
+
+}  // namespace c4h::workload

@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "src/federation/geo_federation.hpp"
 #include "src/sim/fault.hpp"
 #include "src/vstore/home_cloud.hpp"
 #include "src/workload/workload.hpp"
@@ -417,6 +418,190 @@ TEST_P(WorkloadChaosSoak, NoAckedWriteLostUnderChurnAndFlaps) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, WorkloadChaosSoak, ::testing::Values(8101, 8102, 8103));
+
+// ---------------------------------------------------------------------------
+// Federation soak: a City (3 neighborhoods × 2 homes × 3 nodes) under
+// crash/restart churn, with published objects replicated at degree 2 across
+// neighborhoods and a periodic repair sweep. The reachability invariant:
+// a fetch may only fail while an object has NO live replica — any failure
+// while ≥1 replica's node is up (before and after the fetch, so mid-fetch
+// churn doesn't blur the check) is a federation bug, not bad luck. After
+// churn settles and a final repair runs, every published object must fetch
+// with exactly its published size.
+
+struct FederationChaosResult {
+  std::size_t published = 0;
+  std::uint64_t fetches = 0;
+  int unreachable = 0;  // failed fetch while a live replica existed
+  std::string unreachable_detail;
+  int lost_after_settle = 0;
+  std::string lost_detail;
+  std::uint64_t wrong = 0;
+  std::uint64_t crashes = 0;
+  std::uint64_t repairs = 0;
+  bool all_online = false;
+};
+
+FederationChaosResult run_federation_chaos(std::uint64_t seed) {
+  City city{{.seed = seed, .spines = 2}};
+  std::vector<std::unique_ptr<Neighborhood>> hoods;
+  std::vector<std::unique_ptr<HomeCloud>> homes;
+  for (int h = 0; h < 3; ++h) {
+    NeighborhoodConfig nc;
+    nc.seed = seed;
+    nc.name = "hood-" + std::to_string(h);
+    nc.spine_latency = milliseconds(1 + 3 * h);
+    hoods.push_back(std::make_unique<Neighborhood>(city, nc));
+    for (int i = 0; i < 2; ++i) {
+      HomeCloudConfig cfg;
+      cfg.home_name = "h" + std::to_string(h) + "-" + std::to_string(i);
+      cfg.netbooks = 2;  // + desktop = 3 nodes
+      cfg.kv.replication = 2;
+      cfg.kv.ack_replication = true;
+      cfg.start_stabilization = true;
+      cfg.start_monitors = false;
+      cfg.seed = seed + static_cast<std::uint64_t>(h * 2 + i);
+      homes.push_back(std::make_unique<HomeCloud>(*hoods.back(), cfg));
+    }
+  }
+  for (auto& hc : homes) hc->bootstrap();
+  federation::GeoFederation fed{city, federation::GeoConfig{.replication = 2}};
+
+  // Churn only: this soak isolates the replication/repair invariant, so
+  // message/IO faults stay off and uplink flaps are parked.
+  sim::FaultSpec spec;
+  spec.mean_crash_interval = seconds(5);
+  spec.mean_downtime = seconds(4);
+  spec.mean_flap_interval = seconds(86400);
+  spec.horizon = seconds(30);
+  sim::FaultPlan& plan = city.enable_chaos(spec);
+
+  FederationChaosResult out;
+
+  city.run([](City& c, federation::GeoFederation& f, sim::FaultPlan& fp,
+              FederationChaosResult& r) -> Task<> {
+    auto& sim = c.sim();
+    const std::vector<HomeCloud*> all = c.all_homes();
+
+    // Publish a catalog round-robin across every home; unique sizes make
+    // wrong-object reads detectable by size alone.
+    std::map<std::string, Bytes> published;
+    std::vector<std::string> names;
+    for (int i = 0; i < 18; ++i) {
+      HomeCloud& owner = *all[static_cast<std::size_t>(i) % all.size()];
+      const std::string name = "fed-" + std::to_string(i) + ".jpg";
+      const Bytes size = 32 * 1024 + static_cast<Bytes>(i) * 4096;
+      (void)co_await owner.node(0).create_object(chaos_meta(name, size));
+      auto stored = co_await owner.node(0).store_object(name);
+      if (!stored.ok()) continue;
+      auto pub = co_await f.publish(owner, owner.node(0), name);
+      if (pub.ok()) {
+        published.emplace(name, size);
+        names.push_back(name);
+      }
+    }
+    r.published = published.size();
+    if (names.empty()) co_return;
+
+    // Fetch loop under churn, with a repair sweep every ~5 s of loop time.
+    for (int step = 0; step < 120; ++step) {
+      co_await sim.delay(milliseconds(300));
+      if (step % 16 == 15) {
+        const std::size_t healed = co_await f.repair_scan();
+        (void)healed;
+      }
+      HomeCloud& reader_home = *all[(static_cast<std::size_t>(step) * 7 + 3) % all.size()];
+      VStoreNode* reader = nullptr;
+      for (std::size_t j = 0; j < reader_home.node_count(); ++j) {
+        if (reader_home.node(j).online()) {
+          reader = &reader_home.node(j);
+          break;
+        }
+      }
+      if (reader == nullptr) continue;
+      const std::string& name = names[(static_cast<std::size_t>(step) * 13) % names.size()];
+      const std::size_t live_before = f.live_replicas(name);
+      auto got = co_await f.fetch(reader_home, *reader, name);
+      const std::size_t live_after = f.live_replicas(name);
+      ++r.fetches;
+      if (got.ok()) {
+        if (got->size != published.at(name)) ++r.wrong;
+      } else if (live_before >= 1 && live_after >= 1) {
+        ++r.unreachable;
+        r.unreachable_detail += name + ": " + std::string(to_string(got.code())) + "; ";
+      }
+    }
+
+    // Settle: past the horizon, every node back, faults off, repair tail.
+    while (sim.now() < fp.deadline()) co_await sim.delay(seconds(1));
+    for (int i = 0; i < 60; ++i) {
+      bool every = true;
+      for (HomeCloud* h : all) {
+        for (std::size_t j = 0; j < h->node_count(); ++j) {
+          if (!h->node(j).online()) every = false;
+        }
+      }
+      if (every) break;
+      co_await sim.delay(seconds(1));
+    }
+    fp.disarm();
+    co_await sim.delay(seconds(5));
+    const std::size_t final_heal = co_await f.repair_scan();
+    (void)final_heal;
+
+    r.all_online = true;
+    for (HomeCloud* h : all) {
+      for (std::size_t j = 0; j < h->node_count(); ++j) {
+        if (!h->node(j).online()) r.all_online = false;
+      }
+    }
+
+    // Everyone is back: every published object must be reachable with its
+    // exact size from an arbitrary far-away home.
+    HomeCloud& verifier = *all.back();
+    for (const auto& [name, size] : published) {
+      if (f.live_replicas(name) == 0) {
+        ++r.lost_after_settle;
+        r.lost_detail += name + ": zero live replicas; ";
+        continue;
+      }
+      auto got = co_await f.fetch(verifier, verifier.node(0), name);
+      if (!got.ok()) {
+        ++r.lost_after_settle;
+        r.lost_detail += name + ": " + std::string(to_string(got.code())) + "; ";
+      } else if (got->size != size) {
+        ++r.lost_after_settle;
+        r.lost_detail += name + ": wrong size; ";
+      }
+    }
+  }(city, fed, plan, out));
+
+  out.crashes = plan.stats().crashes;
+  out.repairs = fed.stats().repairs;
+  return out;
+}
+
+class FederationChaosSoak : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FederationChaosSoak, PublishedObjectsReachableWhileAnyReplicaLives) {
+  const std::uint64_t seed = GetParam();
+  const FederationChaosResult r = run_federation_chaos(seed);
+
+  // The soak must have exercised the machinery: churn bit, the catalog
+  // published, and the fetch loop ran.
+  EXPECT_GT(r.crashes, 0u) << "seed " << seed;
+  EXPECT_GE(r.published, 15u) << "seed " << seed;
+  EXPECT_GT(r.fetches, 80u) << "seed " << seed;
+
+  EXPECT_EQ(r.unreachable, 0)
+      << "seed " << seed << ": fetch failed with a live replica [" << r.unreachable_detail << "]";
+  EXPECT_EQ(r.wrong, 0u) << "seed " << seed << ": fetch returned wrong size";
+  EXPECT_TRUE(r.all_online) << "seed " << seed << ": a crashed node never restarted";
+  EXPECT_EQ(r.lost_after_settle, 0)
+      << "seed " << seed << ": object unreachable after settle [" << r.lost_detail << "]";
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FederationChaosSoak, ::testing::Values(9201, 9202, 9203));
 
 }  // namespace
 }  // namespace c4h::vstore

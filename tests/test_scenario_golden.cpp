@@ -18,16 +18,22 @@
 
 namespace {
 
-// Runs the scenario in `dir` (created fresh) and returns the artifact text.
-std::string run_scenario_in(const std::string& dir) {
+// Runs a scenario binary in `dir` (created fresh) and returns the artifact
+// text it emitted.
+std::string run_bench_in(const std::string& bin, const std::string& artifact,
+                         const std::string& dir) {
   const std::string cmd = "rm -rf " + dir + " && mkdir -p " + dir + " && cd " + dir +
-                          " && " + C4H_SCENARIO_BIN + " --quick --seed 97 > run.log 2>&1";
+                          " && " + bin + " --quick --seed 97 > run.log 2>&1";
   EXPECT_EQ(std::system(cmd.c_str()), 0) << "scenario run failed, see " << dir << "/run.log";
-  std::ifstream in(dir + "/BENCH_scenario_iot_telemetry.json");
+  std::ifstream in(dir + "/" + artifact);
   EXPECT_TRUE(in.good()) << "artifact missing in " << dir;
   std::ostringstream buf;
   buf << in.rdbuf();
   return buf.str();
+}
+
+std::string run_scenario_in(const std::string& dir) {
+  return run_bench_in(C4H_SCENARIO_BIN, "BENCH_scenario_iot_telemetry.json", dir);
 }
 
 std::string scratch(const std::string& leaf) {
@@ -77,6 +83,45 @@ TEST(ScenarioGolden, SameSeedRunsAreByteIdenticalAndSchemaValid) {
   }
   for (const char* tail : {"count", "mean", "p50", "p99", "p999"}) {
     EXPECT_TRUE(suffixes.contains(tail)) << "missing tail row: " << tail;
+  }
+}
+
+TEST(ScenarioGolden, FederationSameSeedByteIdenticalWithPerPathTails) {
+  const std::string artifact = "BENCH_scenario_federation.json";
+  const std::string a = run_bench_in(C4H_SCENARIO_FED_BIN, artifact, scratch("fed_a"));
+  const std::string b = run_bench_in(C4H_SCENARIO_FED_BIN, artifact, scratch("fed_b"));
+  ASSERT_FALSE(a.empty());
+  EXPECT_EQ(a, b) << "same-seed federation runs must emit byte-identical artifacts";
+
+  const auto parsed = c4h::obs::json_parse(a);
+  ASSERT_TRUE(parsed.ok()) << parsed.error().message;
+  const c4h::obs::JsonValue& root = *parsed;
+  const auto* schema = root.find("schema");
+  ASSERT_NE(schema, nullptr);
+  EXPECT_EQ(schema->str, "c4h-bench-v1");
+  const auto* bench = root.find("bench");
+  ASSERT_NE(bench, nullptr);
+  EXPECT_EQ(bench->str, "scenario_federation");
+
+  const auto* series = root.find("series");
+  ASSERT_NE(series, nullptr);
+  ASSERT_FALSE(series->items.empty());
+
+  // The headline series: a fetch count row per serving tier, and tail rows
+  // (p50/p99/p999) for every tier that served at least one fetch.
+  std::set<std::string> count_labels;
+  std::set<std::string> tail_labels;
+  for (const auto& row : series->items) {
+    const auto* label = row.find("label");
+    const auto* metric = row.find("metric");
+    ASSERT_NE(label, nullptr);
+    ASSERT_NE(metric, nullptr);
+    if (metric->str == "fed.fetch.count") count_labels.insert(label->str);
+    if (metric->str == "fed.fetch.latency.p999") tail_labels.insert(label->str);
+  }
+  for (const char* path : {"path=local", "path=neighborhood", "path=wide_area", "path=cloud"}) {
+    EXPECT_TRUE(count_labels.contains(path)) << "missing fetch-count row: " << path;
+    EXPECT_TRUE(tail_labels.contains(path)) << "missing tail rows: " << path;
   }
 }
 
