@@ -5,6 +5,9 @@
 // DESIGN.md §10) for CI to archive.
 #pragma once
 
+#include <sys/resource.h>
+
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -22,12 +25,15 @@ namespace c4h::bench {
 /// `--seed N` re-seeds the whole run (same seed ⇒ byte-identical artifact),
 /// `--nodes N` sets the home-cloud device count where the bench is
 /// node-count-parametric, `--neighborhoods N` sets the City's neighborhood
-/// count where the bench runs over the federation tier.
+/// count where the bench runs over the federation tier, and
+/// `--net-model global|incremental|analytical` picks the flow-rate solver
+/// for benches that exercise the raw network engine (DESIGN.md §13).
 struct BenchArgs {
   bool quick = false;
   std::uint64_t seed = 42;
   int nodes = 6;
   int neighborhoods = 4;
+  net::NetModel net_model = net::NetModel::global;
 };
 
 /// Parses the shared flags; unknown arguments are ignored so benches with
@@ -45,9 +51,56 @@ inline BenchArgs parse_args(int argc, char** argv, BenchArgs defaults = {}) {
     } else if (std::strcmp(argv[i], "--neighborhoods") == 0 && i + 1 < argc) {
       const int n = std::atoi(argv[++i]);
       if (n > 0) a.neighborhoods = n;
+    } else if (std::strcmp(argv[i], "--net-model") == 0 && i + 1 < argc) {
+      const char* m = argv[++i];
+      if (std::strcmp(m, "global") == 0) {
+        a.net_model = net::NetModel::global;
+      } else if (std::strcmp(m, "incremental") == 0) {
+        a.net_model = net::NetModel::incremental;
+      } else if (std::strcmp(m, "analytical") == 0) {
+        a.net_model = net::NetModel::analytical;
+      }
     }
   }
   return a;
+}
+
+inline const char* net_model_name(net::NetModel m) {
+  switch (m) {
+    case net::NetModel::global: return "global";
+    case net::NetModel::incremental: return "incremental";
+    case net::NetModel::analytical: return "analytical";
+  }
+  return "?";
+}
+
+/// Host-side cost timer for scaling tables — the one sanctioned wall-clock
+/// in the tree. Values measured with it MUST be emitted with a "-wall" unit
+/// suffix (e.g. "ms-wall"): tools/bench-compare treats those series as
+/// advisory (warn on regression) instead of part of the byte-stable
+/// simulated artifact, and seeds/replays make no promise about them.
+class WallTimer {
+ public:
+  double elapsed_ms() const {
+    return std::chrono::duration<double, std::milli>(Clock::now() - start_).count();
+  }
+
+ private:
+  // c4h-lint: allow(R2) — host-cost measurement only; never feeds simulated
+  // state, and the emitted series carry "-wall" units that bench-compare
+  // excludes from deterministic comparison.
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_ = Clock::now();
+};
+
+/// Peak resident set of this process in MiB (Linux ru_maxrss is KiB).
+/// Cumulative over the process lifetime: a sweep must visit its sizes in
+/// ascending order for per-size readings to mean anything. Advisory, like
+/// wall-clock — emit with a "-wall" unit suffix.
+inline double peak_rss_mb() {
+  rusage u{};
+  getrusage(RUSAGE_SELF, &u);
+  return static_cast<double>(u.ru_maxrss) / 1024.0;
 }
 
 inline void header(const std::string& title, const std::string& paper_ref) {

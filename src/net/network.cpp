@@ -1,6 +1,7 @@
 #include "src/net/network.hpp"
 
 #include <algorithm>
+#include <cassert>
 
 #include "src/sim/fault.hpp"
 
@@ -124,19 +125,80 @@ Duration Network::sample_message_latency(NetNodeId src, NetNodeId dst, Bytes siz
   return lat;
 }
 
+void Network::set_model(NetModel m) {
+  assert(flows_.empty() && "set_model must precede flow admission");
+  model_ = m;
+  engine_.reset();
+  if (m == NetModel::incremental) {
+    std::vector<Rate> caps(topo_.link_count());
+    for (LinkId l = 0; l < caps.size(); ++l) caps[l] = topo_.link(l).capacity;
+    engine_ = std::make_unique<FairShareEngine>(std::move(caps));
+  }
+}
+
 void Network::set_link_capacity(LinkId link, Rate capacity) {
   topo_.set_link_capacity(link, capacity);
-  // Flows whose bottleneck this was must slow down (or speed up) from this
-  // instant; recompute() first credits everyone's progress at the old rates.
-  recompute();
+  switch (model_) {
+    case NetModel::global:
+      // Flows whose bottleneck this was must slow down (or speed up) from
+      // this instant; recompute() first credits everyone's progress at the
+      // old rates.
+      recompute();
+      break;
+    case NetModel::incremental:
+      engine_->set_link_capacity(link, capacity);
+      // Flow caps derived from this link's nominal rate (the bottleneck
+      // term) change with it; refresh them against freshly credited
+      // progress before the component re-solve.
+      if (link < link_flows_.size()) {
+        for (const std::uint64_t id : link_flows_[link]) {
+          Flow& f = flows_.at(id);
+          advance_flow(f);
+          engine_->set_flow_cap(id, flow_cap(f));
+        }
+      }
+      apply_commit();
+      break;
+    case NetModel::analytical:
+      solve_analytical({link});
+      break;
+  }
 }
 
 Rate Network::link_load(LinkId link) const {
   Rate r = 0;
-  for (const auto& [id, f] : flows_) {
-    if (std::find(f.links.begin(), f.links.end(), link) != f.links.end()) r += f.rate;
+  if (link < link_flows_.size()) {
+    for (const std::uint64_t id : link_flows_[link]) r += flows_.at(id).rate;
   }
   return r;
+}
+
+void Network::link_index_add(const Flow& f) {
+  for (const LinkId l : f.links) {
+    if (l >= link_flows_.size()) link_flows_.resize(l + 1);
+    link_flows_[l].push_back(f.id);  // ids are monotone, so this stays sorted
+  }
+}
+
+void Network::link_index_remove(const Flow& f) {
+  for (const LinkId l : f.links) {
+    auto& v = link_flows_[l];
+    v.erase(std::lower_bound(v.begin(), v.end(), f.id));
+  }
+}
+
+double Network::flow_cap(const Flow& f) const {
+  // The phase fraction (slow start / policing) and the jitter multiplier
+  // scale whichever constraint binds for this flow — the TCP window or the
+  // bottleneck link's nominal rate — so both shape the throughput even on
+  // window-unconstrained paths. The bottleneck is re-read every solve so
+  // runtime capacity changes take effect on in-flight flows.
+  Rate bottleneck = std::numeric_limits<Rate>::infinity();
+  for (const LinkId lid : f.links) {
+    bottleneck = std::min(bottleneck, topo_.link(lid).capacity);
+  }
+  return std::min(f.profile.steady_rate(), bottleneck) *
+         f.profile.phase_fraction(static_cast<Bytes>(f.done)) * f.jitter_mult;
 }
 
 std::uint64_t Network::add_flow(const std::vector<LinkId>& links, Bytes size, TcpProfile profile,
@@ -159,18 +221,32 @@ std::uint64_t Network::add_flow(const std::vector<LinkId>& links, Bytes size, Tc
     sigma = std::max(sigma, topo_.link(lid).rate_jitter);
   }
   if (sigma > 0) f.jitter_mult = std::clamp(rng_.lognormal_mean(1.0, sigma), 0.25, 3.0);
-  flows_.emplace(id, std::move(f));
-  recompute();
+  const auto it = flows_.emplace(id, std::move(f)).first;
+  link_index_add(it->second);
+  switch (model_) {
+    case NetModel::global:
+      recompute();
+      break;
+    case NetModel::incremental:
+      engine_->add_flow(id, it->second.links, flow_cap(it->second));
+      apply_commit();
+      break;
+    case NetModel::analytical:
+      solve_analytical(it->second.links);
+      break;
+  }
   return id;
 }
 
-void Network::advance_progress() {
+void Network::advance_flow(Flow& f) {
   const TimePoint now = sim_.now();
-  for (auto& [id, f] : flows_) {
-    const double elapsed = to_seconds(now - f.last_update);
-    if (elapsed > 0) f.done = std::min(f.total, f.done + elapsed * f.rate);
-    f.last_update = now;
-  }
+  const double elapsed = to_seconds(now - f.last_update);
+  if (elapsed > 0) f.done = std::min(f.total, f.done + elapsed * f.rate);
+  f.last_update = now;
+}
+
+void Network::advance_progress() {
+  for (auto& [id, f] : flows_) advance_flow(f);
 }
 
 void Network::recompute() {
@@ -185,6 +261,7 @@ void Network::recompute() {
     if (f.total - f.done <= kByteEps) {
       sim_.cancel(f.next_event);
       completed.push_back(std::move(f.on_complete));
+      link_index_remove(f);
       it = flows_.erase(it);
     } else {
       ++it;
@@ -203,18 +280,7 @@ void Network::recompute() {
     ids.push_back(id);
     FairFlowDesc d;
     d.links = f.links;
-    const auto sent = static_cast<Bytes>(f.done);
-    // The phase fraction (slow start / policing) and the jitter multiplier
-    // scale whichever constraint binds for this flow — the TCP window or the
-    // bottleneck link's nominal rate — so both shape the throughput even on
-    // window-unconstrained paths. The bottleneck is re-read every solve so
-    // runtime capacity changes take effect on in-flight flows.
-    Rate bottleneck = std::numeric_limits<Rate>::infinity();
-    for (const LinkId lid : f.links) {
-      bottleneck = std::min(bottleneck, topo_.link(lid).capacity);
-    }
-    d.cap = std::min(f.profile.steady_rate(), bottleneck) *
-            f.profile.phase_fraction(sent) * f.jitter_mult;
+    d.cap = flow_cap(f);
     descs.push_back(std::move(d));
   }
   const std::vector<Rate> rates = max_min_fair_rates(caps, descs);
@@ -234,6 +300,106 @@ void Network::recompute() {
   }
 
   for (auto& cb : completed) cb();
+}
+
+// ---- incremental / analytical fast paths -----------------------------------
+//
+// The global model above pays O(total flows) per network event. The fast
+// paths pay O(affected component): each flow schedules its *own* next event
+// (completion or TCP phase boundary) and, when it fires, only the flows
+// whose rates can actually change — those sharing links, transitively for
+// the incremental solver, one hop for the analytical one — are advanced and
+// re-rated. Unaffected flows keep running at their piecewise-constant rates
+// with stale `done`/`last_update`, which advance_flow() settles lazily the
+// next time they are touched.
+
+void Network::reschedule_flow(Flow& f) {
+  sim_.cancel(f.next_event);
+  f.next_event = {};
+  if (f.rate <= 0) return;  // parked until some other event frees capacity
+  double bytes_to_event = f.total - f.done;
+  if (const auto b = f.profile.next_phase_boundary(static_cast<Bytes>(f.done))) {
+    bytes_to_event = std::min(bytes_to_event, static_cast<double>(*b) - f.done);
+  }
+  const Duration dt = from_seconds(std::max(bytes_to_event, 0.0) / f.rate);
+  const std::uint64_t id = f.id;
+  f.next_event = sim_.schedule(dt, [this, id] { on_flow_event(id); });
+}
+
+void Network::apply_commit() {
+  // Affected flows change rate *now*: credit progress at the old rate
+  // first, then adopt the engine's new rate and reschedule.
+  for (const std::uint64_t id : engine_->commit()) {
+    Flow& f = flows_.at(id);
+    advance_flow(f);
+    f.rate = engine_->rate(id);
+    reschedule_flow(f);
+  }
+}
+
+Rate Network::rate_analytical(const Flow& f) const {
+  Rate r = flow_cap(f);
+  for (const LinkId l : f.links) {
+    r = std::min(r, topo_.link(l).capacity / static_cast<double>(link_flows_[l].size()));
+  }
+  return r;
+}
+
+void Network::solve_analytical(const std::vector<LinkId>& links) {
+  // One-hop affected set: in the closed form a flow's rate depends only on
+  // its own links' capacities and flow counts, so effects don't propagate
+  // beyond the flows sharing a changed link.
+  std::vector<std::uint64_t> affected;
+  for (const LinkId l : links) {
+    if (l < link_flows_.size()) {
+      affected.insert(affected.end(), link_flows_[l].begin(), link_flows_[l].end());
+    }
+  }
+  std::sort(affected.begin(), affected.end());
+  affected.erase(std::unique(affected.begin(), affected.end()), affected.end());
+  for (const std::uint64_t id : affected) {
+    Flow& f = flows_.at(id);
+    advance_flow(f);
+    f.rate = rate_analytical(f);
+    reschedule_flow(f);
+  }
+}
+
+void Network::on_flow_event(std::uint64_t id) {
+  if (model_ == NetModel::global) {
+    recompute();
+    return;
+  }
+  const auto it = flows_.find(id);
+  if (it == flows_.end()) return;  // defensive; cancellation should prevent this
+  Flow& f = it->second;
+  advance_flow(f);
+
+  if (f.total - f.done <= kByteEps) {
+    // Completion: retire first (the callback may start new transfers
+    // synchronously, re-entering add_flow), then re-rate the survivors.
+    link_index_remove(f);
+    std::function<void()> done_cb = std::move(f.on_complete);
+    const std::vector<LinkId> links = std::move(f.links);
+    flows_.erase(it);
+    if (model_ == NetModel::incremental) {
+      engine_->remove_flow(id);
+      apply_commit();
+    } else {
+      solve_analytical(links);
+    }
+    if (done_cb) done_cb();
+    return;
+  }
+
+  // TCP phase boundary: only this flow's cap changed.
+  if (model_ == NetModel::incremental) {
+    engine_->set_flow_cap(id, flow_cap(f));
+    apply_commit();
+  } else {
+    f.rate = rate_analytical(f);
+    reschedule_flow(f);
+  }
 }
 
 }  // namespace c4h::net

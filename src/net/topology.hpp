@@ -13,6 +13,7 @@
 #include <limits>
 #include <queue>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "src/common/units.hpp"
@@ -36,7 +37,15 @@ struct Link {
   double rate_jitter = 0;     // lognormal sigma applied per flow
 };
 
-/// Static topology with precomputed lowest-latency routes.
+/// Static topology with memoized lowest-latency routes.
+///
+/// Routes are resolved lazily, one (src, dst) pair at a time, with an
+/// early-exit Dijkstra. The previous implementation built the full
+/// all-pairs table on the first route() call — O(n²) paths of memory and
+/// O(n · E log n) time — which is prohibitive at the 10k-node scale the
+/// core scaling study drives; a star-ish topology only ever pays for the
+/// pairs that actually communicate. Resolved paths are byte-identical to
+/// the old table's (same relaxation rule, same tie-breaking heap order).
 class Topology {
  public:
   NetNodeId add_node() {
@@ -75,23 +84,12 @@ class Topology {
   /// Lowest-latency path (sequence of link ids) from `src` to `dst`.
   /// Empty for src == dst; asserts a route exists otherwise.
   const std::vector<LinkId>& route(NetNodeId src, NetNodeId dst) const {
-    if (routes_dirty_) {
-      rebuild_routes();
-      routes_dirty_ = false;
-    }
-    const auto key = (std::uint64_t{src.v} << 32) | dst.v;
-    const auto it = routes_.find(key);
-    assert(it != routes_.end() && "no route between nodes");
-    return it->second;
+    const std::vector<LinkId>* p = find_route(src, dst);
+    assert(p != nullptr && "no route between nodes");
+    return *p;
   }
 
-  bool has_route(NetNodeId src, NetNodeId dst) const {
-    if (routes_dirty_) {
-      rebuild_routes();
-      routes_dirty_ = false;
-    }
-    return routes_.contains((std::uint64_t{src.v} << 32) | dst.v);
-  }
+  bool has_route(NetNodeId src, NetNodeId dst) const { return find_route(src, dst) != nullptr; }
 
   /// Sum of link propagation latencies along the path.
   Duration path_latency(NetNodeId src, NetNodeId dst) const {
@@ -101,50 +99,87 @@ class Topology {
   }
 
  private:
-  void rebuild_routes() const {
-    routes_.clear();
+  const std::vector<LinkId>* find_route(NetNodeId src, NetNodeId dst) const {
+    if (routes_dirty_) {
+      routes_.clear();
+      no_route_.clear();
+      routes_dirty_ = false;
+    }
+    const auto key = (std::uint64_t{src.v} << 32) | dst.v;
+    if (const auto it = routes_.find(key); it != routes_.end()) return &it->second;
+    if (no_route_.contains(key)) return nullptr;
+    std::vector<LinkId> path;
+    if (!shortest_path(src.v, dst.v, path)) {
+      no_route_.insert(key);
+      return nullptr;
+    }
+    return &routes_.emplace(key, std::move(path)).first->second;
+  }
+
+  // Early-exit Dijkstra over latency from `s`, stopping once `t` settles.
+  // Strict-< relaxation with a (distance, node-id) min-heap: exactly the
+  // old full-table build, so the memoized path for a pair is the path the
+  // eager version would have produced. A popped node is final, which makes
+  // breaking at `t` safe.
+  bool shortest_path(std::uint32_t s, std::uint32_t t, std::vector<LinkId>& out) const {
     const auto n = adjacency_.size();
-    for (std::uint32_t s = 0; s < n; ++s) {
-      // Dijkstra over latency.
-      std::vector<Duration> dist(n, Duration::max());
-      std::vector<LinkId> via(n, UINT32_MAX);
-      using QE = std::pair<Duration, std::uint32_t>;
-      std::priority_queue<QE, std::vector<QE>, std::greater<>> pq;
-      dist[s] = Duration::zero();
-      pq.push({Duration::zero(), s});
-      while (!pq.empty()) {
-        const auto [d, u] = pq.top();
-        pq.pop();
-        if (d > dist[u]) continue;
-        for (const LinkId lid : adjacency_[u]) {
-          const Link& l = links_[lid];
-          const Duration nd = d + l.latency;
-          if (nd < dist[l.to.v]) {
-            dist[l.to.v] = nd;
-            via[l.to.v] = lid;
-            pq.push({nd, l.to.v});
-          }
-        }
+    if (++epoch_ == 0) {  // stamp wrap: invalidate every slot the hard way
+      std::fill(stamp_.begin(), stamp_.end(), 0u);
+      epoch_ = 1;
+    }
+    dist_.resize(n);
+    via_.resize(n);
+    stamp_.resize(n, 0u);
+    const auto dist_at = [this](std::uint32_t v) {
+      return stamp_[v] == epoch_ ? dist_[v] : Duration::max();
+    };
+
+    using QE = std::pair<Duration, std::uint32_t>;
+    std::priority_queue<QE, std::vector<QE>, std::greater<>> pq;
+    stamp_[s] = epoch_;
+    dist_[s] = Duration::zero();
+    pq.push({Duration::zero(), s});
+    bool found = false;
+    while (!pq.empty()) {
+      const auto [d, u] = pq.top();
+      pq.pop();
+      if (d > dist_at(u)) continue;
+      if (u == t) {
+        found = true;
+        break;
       }
-      for (std::uint32_t t = 0; t < n; ++t) {
-        if (dist[t] == Duration::max()) continue;
-        std::vector<LinkId> path;
-        std::uint32_t cur = t;
-        while (cur != s) {
-          const LinkId lid = via[cur];
-          path.push_back(lid);
-          cur = links_[lid].from.v;
+      for (const LinkId lid : adjacency_[u]) {
+        const Link& l = links_[lid];
+        const Duration nd = d + l.latency;
+        if (nd < dist_at(l.to.v)) {
+          stamp_[l.to.v] = epoch_;
+          dist_[l.to.v] = nd;
+          via_[l.to.v] = lid;
+          pq.push({nd, l.to.v});
         }
-        std::reverse(path.begin(), path.end());
-        routes_.emplace((std::uint64_t{s} << 32) | t, std::move(path));
       }
     }
+    if (!found) return false;
+    out.clear();
+    for (std::uint32_t cur = t; cur != s;) {
+      const LinkId lid = via_[cur];
+      out.push_back(lid);
+      cur = links_[lid].from.v;
+    }
+    std::reverse(out.begin(), out.end());
+    return true;
   }
 
   std::vector<Link> links_;
   std::vector<std::vector<LinkId>> adjacency_;
   mutable std::unordered_map<std::uint64_t, std::vector<LinkId>> routes_;
+  mutable std::unordered_set<std::uint64_t> no_route_;
   mutable bool routes_dirty_ = false;
+  // Dijkstra scratch, epoch-stamped so a query costs O(visited), not O(n).
+  mutable std::vector<Duration> dist_;
+  mutable std::vector<LinkId> via_;
+  mutable std::vector<std::uint32_t> stamp_;
+  mutable std::uint32_t epoch_ = 0;
 };
 
 }  // namespace c4h::net

@@ -1,21 +1,25 @@
 // Discrete-event simulation engine.
 //
-// A single priority queue of timed callbacks drives everything: coroutine
+// A single time-ordered queue of callbacks drives everything: coroutine
 // resumptions, periodic monitors, flow-completion events. Events at equal
 // timestamps run in schedule order (FIFO), which makes every run
 // deterministic for a given seed.
+//
+// Storage is the slab/free-list EventArena (event_arena.hpp): callbacks are
+// held inline (no allocation for the common capture sizes), cancellation is
+// O(1) via generation-tagged ids, and heavy cancel/reschedule churn — every
+// flow reschedule cancels — compacts instead of growing the heap. The
+// equal-timestamp FIFO contract is unchanged from the previous map-based
+// engine, byte for byte.
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <memory>
-#include <queue>
-#include <unordered_map>
 #include <unordered_set>
-#include <vector>
 
 #include "src/common/rng.hpp"
 #include "src/common/units.hpp"
+#include "src/sim/event_arena.hpp"
 #include "src/sim/task.hpp"
 
 namespace c4h::sim {
@@ -25,7 +29,9 @@ using c4h::TimePoint;
 
 class FaultPlan;  // sim/fault.hpp; installed via install_fault_plan()
 
-/// Handle for a scheduled callback; allows cancellation.
+/// Handle for a scheduled callback; allows cancellation. Generation-tagged:
+/// an id stays invalid forever once its event fired or was cancelled, even
+/// after the underlying arena slot is recycled.
 struct EventId {
   std::uint64_t id = 0;
   bool valid() const { return id != 0; }
@@ -60,36 +66,37 @@ class Simulation {
   /// Diagnostics for leak checks: live detached coroutine frames and
   /// pending (uncancelled) events.
   std::size_t detached_count() const { return detached_.size(); }
-  std::size_t pending_event_count() const { return callbacks_.size(); }
+  std::size_t pending_event_count() const { return events_.live_count(); }
 
-  /// Schedules `fn` to run `delay` after now. delay must be >= 0.
-  EventId schedule(Duration delay, std::function<void()> fn) {
+  /// Queue entries including cancellation tombstones; bounded at a constant
+  /// factor of pending_event_count() by arena compaction (tests assert it).
+  std::size_t event_queue_size() const { return events_.heap_size(); }
+
+  /// Events executed since construction (scaling benches report events/sec).
+  std::uint64_t events_executed() const { return events_executed_; }
+
+  /// Schedules `fn` to run `delay` after now. delay must be >= 0. Callables
+  /// with captures up to EventArena::kInlineBytes are stored inline.
+  template <typename F>
+  EventId schedule(Duration delay, F&& fn) {
     if (delay < Duration::zero()) delay = Duration::zero();
-    const std::uint64_t id = ++next_id_;
-    queue_.push(QueuedEvent{now_ + delay, id});
-    callbacks_.emplace(id, std::move(fn));
-    return EventId{id};
+    return EventId{events_.schedule(now_ + delay, std::forward<F>(fn))};
   }
 
   /// Cancels a pending event. Safe to call with an already-fired id.
-  void cancel(EventId ev) { callbacks_.erase(ev.id); }
+  void cancel(EventId ev) { events_.cancel(ev.id); }
 
-  bool pending(EventId ev) const { return callbacks_.contains(ev.id); }
+  bool pending(EventId ev) const { return events_.pending(ev.id); }
 
   /// Runs one event. Returns false when the queue is empty.
   bool step() {
-    while (!queue_.empty()) {
-      const QueuedEvent qe = queue_.top();
-      queue_.pop();
-      auto it = callbacks_.find(qe.id);
-      if (it == callbacks_.end()) continue;  // cancelled
-      now_ = qe.at;
-      auto fn = std::move(it->second);
-      callbacks_.erase(it);
-      fn();
-      return true;
-    }
-    return false;
+    TimePoint at;
+    if (!events_.peek(at)) return false;
+    EventArena::FiredCallback fn;
+    now_ = events_.take_earliest(fn);
+    ++events_executed_;
+    fn();
+    return true;
   }
 
   /// Runs until no events remain.
@@ -99,14 +106,8 @@ class Simulation {
 
   /// Runs events with timestamp <= `t`; advances the clock to exactly `t`.
   void run_until(TimePoint t) {
-    while (!queue_.empty()) {
-      // Skip cancelled heads without advancing time.
-      const QueuedEvent qe = queue_.top();
-      if (!callbacks_.contains(qe.id)) {
-        queue_.pop();
-        continue;
-      }
-      if (qe.at > t) break;
+    TimePoint at;
+    while (events_.peek(at) && at <= t) {
       step();
     }
     if (now_ < t) now_ = t;
@@ -153,19 +154,9 @@ class Simulation {
     done = true;
   }
 
-  struct QueuedEvent {
-    TimePoint at;
-    std::uint64_t id;
-    // Later ids sort after earlier ones at equal time → FIFO.
-    bool operator>(const QueuedEvent& o) const {
-      return at != o.at ? at > o.at : id > o.id;
-    }
-  };
-
   TimePoint now_{0};
-  std::uint64_t next_id_ = 0;
-  std::priority_queue<QueuedEvent, std::vector<QueuedEvent>, std::greater<>> queue_;
-  std::unordered_map<std::uint64_t, std::function<void()>> callbacks_;
+  EventArena events_;
+  std::uint64_t events_executed_ = 0;
   std::unordered_set<void*> detached_;
   Rng rng_;
   // shared_ptr so the (forward-declared) plan can be owned here without

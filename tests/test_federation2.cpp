@@ -266,6 +266,24 @@ TEST(GeoFederation, SameSeedRunsAreIdentical) {
   EXPECT_EQ(a.fed->stats().fetches, b.fed->stats().fetches);
   EXPECT_EQ(a.city.sim().now(), b.city.sim().now());
   EXPECT_FALSE(a.fed->fingerprint().empty());
+
+  // Pinned history guard: the constants below were captured from this exact
+  // seed-11 episode *before* the simulator-core rewrite (slab event arena,
+  // lazy route resolution, incremental fair-share plumbing). Run-to-run
+  // identity (above) would still pass if the engine changed behavior
+  // deterministically; this cross-version pin is what actually proves the
+  // fast-path work preserved the simulated history byte for byte. Update
+  // the constants only for an intended model change, and say why in the
+  // commit.
+  EXPECT_EQ(a.city.sim().now().count(), 6277977401LL);
+  EXPECT_EQ(a.fed->stats().fetches[0] + a.fed->stats().fetches[1] + a.fed->stats().fetches[2] +
+                a.fed->stats().fetches[3],
+            4u);
+  EXPECT_EQ(a.fed->fingerprint(),
+            "0:city/obj-1:327680:1:|1/h1-0/7469f5c6e7|0/h0-0/888acbca86;"
+            "1:city/obj-0:262144:0:|0/h0-0/441897ae6d|1/h1-0/67b120f4a2;"
+            "1:city/obj-2:393216:2:|2/h2-0/f95bda132c|0/h0-1/14d96c40ee;"
+            "1:city/obj-3:458752:0:|0/h0-0/441897ae6d|1/h1-1/221a859c41;");
 }
 
 }  // namespace

@@ -4,7 +4,15 @@
 // byte-identical, and validates the artifact against schema c4h-bench-v1
 // including the tail-latency (p50/p99/p999) rows the scenarios add.
 //
-// The scenario binary's path is injected by CMake (C4H_SCENARIO_BIN).
+// On top of run-to-run identity, the artifacts are compared byte-for-byte
+// against checked-in goldens (tests/golden/BENCH_*.json) captured before the
+// event-engine rewrite: the simulator core may change its storage and
+// solver plumbing, but a fixed seed's simulated history may not move by a
+// single byte. Regenerate with C4H_UPDATE_GOLDEN=1 only for an intended
+// behavior change, and explain it in the commit.
+//
+// The scenario binary paths are injected by CMake (C4H_SCENARIO_BIN,
+// C4H_SCENARIO_FED_BIN); the golden dir is C4H_GOLDEN_DIR.
 #include <gtest/gtest.h>
 
 #include <cstdio>
@@ -41,11 +49,33 @@ std::string scratch(const std::string& leaf) {
   return std::string(base != nullptr ? base : "/tmp") + "/c4h_scenario_golden_" + leaf;
 }
 
+// Byte-compares `fresh` against the checked-in golden artifact, or rewrites
+// the golden when C4H_UPDATE_GOLDEN is set.
+void expect_matches_golden(const std::string& fresh, const std::string& artifact) {
+  const std::string path = std::string(C4H_GOLDEN_DIR) + "/" + artifact;
+  if (std::getenv("C4H_UPDATE_GOLDEN") != nullptr) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    ASSERT_TRUE(out.good()) << "cannot write " << path;
+    out << fresh;
+    GTEST_SKIP() << "golden updated: " << path;
+  }
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in.good()) << "missing golden " << path
+                         << " (run once with C4H_UPDATE_GOLDEN=1 to create)";
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  EXPECT_EQ(fresh, buf.str())
+      << "seed-97 artifact drifted from the checked-in golden " << path
+      << "; a simulated history changed. If intended, rerun with "
+         "C4H_UPDATE_GOLDEN=1 and justify the change in the commit.";
+}
+
 TEST(ScenarioGolden, SameSeedRunsAreByteIdenticalAndSchemaValid) {
   const std::string a = run_scenario_in(scratch("a"));
   const std::string b = run_scenario_in(scratch("b"));
   ASSERT_FALSE(a.empty());
   EXPECT_EQ(a, b) << "same-seed scenario runs must emit byte-identical artifacts";
+  expect_matches_golden(a, "BENCH_scenario_iot_telemetry.json");
 
   const auto parsed = c4h::obs::json_parse(a);
   ASSERT_TRUE(parsed.ok()) << parsed.error().message;
@@ -92,6 +122,7 @@ TEST(ScenarioGolden, FederationSameSeedByteIdenticalWithPerPathTails) {
   const std::string b = run_bench_in(C4H_SCENARIO_FED_BIN, artifact, scratch("fed_b"));
   ASSERT_FALSE(a.empty());
   EXPECT_EQ(a, b) << "same-seed federation runs must emit byte-identical artifacts";
+  expect_matches_golden(a, "BENCH_scenario_federation.json");
 
   const auto parsed = c4h::obs::json_parse(a);
   ASSERT_TRUE(parsed.ok()) << parsed.error().message;
