@@ -185,7 +185,11 @@ sim::Task<Result<std::vector<Buffer>>> KvStore::get_all(ChimeraNode& origin, Key
       if (m_get_lat_ != nullptr) {
         m_get_lat_->record(static_cast<std::uint64_t>((sim.now() - started).count()));
       }
-      co_return pit->second.versions;
+      // Re-find after the suspension: a concurrent put can rehash the table
+      // and churn can erase the entry, either of which invalidates `pit`.
+      const auto cur = mine.primary.find(key);
+      if (cur != mine.primary.end()) co_return cur->second.versions;
+      co_return Error{Errc::not_found, "evicted during local access"};
     }
     if (config_.path_caching) {
       const auto cit = mine.cache.find(key);
@@ -196,7 +200,11 @@ sim::Task<Result<std::vector<Buffer>>> KvStore::get_all(ChimeraNode& origin, Key
         if (m_get_lat_ != nullptr) {
           m_get_lat_->record(static_cast<std::uint64_t>((sim.now() - started).count()));
         }
-        co_return cit->second;
+        // Same revalidation: the cache is mutated by refresh_caches and
+        // invalidations that may run while this frame is suspended.
+        const auto cur = mine.cache.find(key);
+        if (cur != mine.cache.end()) co_return cur->second;
+        co_return Error{Errc::not_found, "evicted during local access"};
       }
     }
   }
@@ -438,10 +446,10 @@ void KvStore::restore_replication() {
   std::vector<std::pair<Key, Key>> work;  // (owner node, key); apply after the
   // scan so inserts can't rehash under us. The scan loops are hash-ordered but
   // only collect; sorting `work` below makes repair order seed-stable (R3).
-  for (auto& [node, store] : stores_) {  // c4h-lint: allow(R3) — sorted below
+  for (auto& [node, store] : stores_) {  // c4h-lint: allow(R3) c4h-analyze: allow(D3) — collect only; sorted below
     ChimeraNode* holder = overlay_.node_by_key(node);
     if (holder == nullptr || !holder->online()) continue;
-    for (auto& [key, entry] : store.primary) {  // c4h-lint: allow(R3) — sorted below
+    for (auto& [key, entry] : store.primary) {  // c4h-lint: allow(R3) c4h-analyze: allow(D3) — collect only; sorted below
       if (live_replica_count(key, entry) < expected_replicas()) work.emplace_back(node, key);
     }
   }
@@ -568,11 +576,11 @@ sim::Task<> KvStore::redistribute_on_join(ChimeraNode& joiner) {
   // restored node may hold an older copy of a key that was re-owned and
   // rewritten while it was down, and that stale copy must never serve.
   std::vector<std::pair<Key, Key>> moves;  // (holder node, key)
-  for (auto& [node, store] : stores_) {  // c4h-lint: allow(R3) — sorted below
+  for (auto& [node, store] : stores_) {  // c4h-lint: allow(R3) c4h-analyze: allow(D3) — collect only; sorted below
     if (node == jid) continue;
     ChimeraNode* holder = overlay_.node_by_key(node);
     if (holder == nullptr || !holder->online()) continue;
-    for (auto& [key, entry] : store.primary) {  // c4h-lint: allow(R3) — sorted below
+    for (auto& [key, entry] : store.primary) {  // c4h-lint: allow(R3) c4h-analyze: allow(D3) — collect only; sorted below
       if (overlay_.true_owner(key) == jid) moves.emplace_back(node, key);
     }
   }

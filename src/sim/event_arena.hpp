@@ -137,6 +137,25 @@ class EventArena {
     const Ops* ops = nullptr;  // nullptr → slot free
     std::uint32_t gen = 1;
     std::uint32_t next_free = kNone;
+
+    Slot() = default;
+    Slot(const Slot&) = delete;
+    Slot& operator=(const Slot&) = delete;
+    // Growing slots_ reallocates the vector; inline callables are only
+    // required to be nothrow move-constructible, not trivially relocatable,
+    // so the byte-wise default move would break self-referential captures.
+    // Route the move through the ops table's relocate instead.
+    Slot(Slot&& o) noexcept : ops(o.ops), gen(o.gen), next_free(o.next_free) {
+      if (ops != nullptr) {
+        if (ops->heap) {
+          *reinterpret_cast<void**>(buf) = *reinterpret_cast<void**>(o.buf);
+        } else {
+          ops->relocate(o.buf, buf);
+        }
+      }
+      o.ops = nullptr;
+    }
+    Slot& operator=(Slot&&) = delete;
   };
 
   struct Entry {

@@ -127,9 +127,12 @@ class Simulation {
   /// meanwhile). Use instead of run() when periodic processes (monitors,
   /// stabilization heartbeats) would keep the queue non-empty forever.
   void run_task(Task<> task) {
-    bool done = false;
+    // The marker frame co-owns the flag: if the task stalls forever and the
+    // queue drains, run_task returns while the frame is still suspended — a
+    // plain `bool&` to this stack slot would dangle on a later resume.
+    auto done = std::make_shared<bool>(false);
     spawn(detail_mark_done(std::move(task), done));
-    while (!done && step()) {}
+    while (!*done && step()) {}
   }
 
   /// Awaitable pause: co_await sim.delay(d).
@@ -149,9 +152,9 @@ class Simulation {
  private:
   friend void detail::deregister_detached(Simulation& sim, void* frame) noexcept;
 
-  static Task<> detail_mark_done(Task<> inner, bool& done) {
+  static Task<> detail_mark_done(Task<> inner, std::shared_ptr<bool> done) {
     co_await inner;
-    done = true;
+    *done = true;
   }
 
   TimePoint now_{0};

@@ -88,9 +88,12 @@ class ObjectFs {
       sp.set_error("io error");
       co_return Error{Errc::io_error, "read error: " + name};
     }
-    sp.attr("bytes", static_cast<std::uint64_t>(it->second.size));
-    co_await sim_.delay(config_.seek + transfer_time(it->second.size, config_.read_rate));
-    co_return it->second.size;
+    // Copy the size before suspending: a concurrent write/remove can rehash
+    // or erase `files_` during the transfer delay, invalidating `it`.
+    const Bytes size = it->second.size;
+    sp.attr("bytes", static_cast<std::uint64_t>(size));
+    co_await sim_.delay(config_.seek + transfer_time(size, config_.read_rate));
+    co_return size;
   }
 
   [[nodiscard]] Result<void> remove(const std::string& name) {

@@ -1,0 +1,30 @@
+// A1 true positives: temporaries bound to reference parameters of spawned
+// coroutines. The frame suspends; the temporary dies at the end of the full
+// expression; the reference parameter dangles on first resume.
+#include "src/sim/simulation.hpp"
+
+using c4h::sim::Simulation;
+using c4h::sim::Task;
+
+struct Counter {
+  int n = 0;
+};
+
+Task<> pump(Counter& c) {
+  co_await c4h::sim::delay_for(1);
+  ++c.n;  // dangles if `c` was a temporary
+}
+
+Counter make_counter() { return Counter{}; }
+
+void bad_named_call(Simulation& sim) {
+  sim.spawn(pump(make_counter()));  // A1: temporary from a call
+  sim.spawn(pump(Counter{}));       // A1: braced temporary
+}
+
+void bad_iife_lambda(Simulation& sim) {
+  sim.spawn([](Counter& c) -> Task<> {
+    co_await c4h::sim::delay_for(1);
+    ++c.n;
+  }(Counter{}));  // A1: temporary into the lambda's reference parameter
+}

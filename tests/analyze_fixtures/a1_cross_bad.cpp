@@ -1,0 +1,14 @@
+// Cross-file A1 true positive: the callee's signature is only visible in
+// a1_decl.hpp; the analyzer's symbol index must connect the two files.
+#include "src/sim/simulation.hpp"
+#include "tests/analyze_fixtures/a1_decl.hpp"
+
+using c4h::sim::Simulation;
+
+void start(Simulation& sim) {
+  sim.spawn(fixture::drain_session(fixture::Session{}, 8));  // A1: temporary
+}
+
+void start_ok(Simulation& sim, fixture::Session& live) {
+  sim.spawn(fixture::drain_session(live, 8));  // fine: caller-owned lvalue
+}

@@ -1,0 +1,16 @@
+// Declaration-only header for the cross-file A1 test: the definition lives
+// elsewhere; the analyzer must learn the Task return type and the non-const
+// reference parameter from this signature alone.
+#pragma once
+
+#include "src/sim/task.hpp"
+
+namespace fixture {
+
+struct Session {
+  int packets = 0;
+};
+
+c4h::sim::Task<> drain_session(Session& s, int budget);
+
+}  // namespace fixture

@@ -1,0 +1,49 @@
+// A1 near-miss true negatives: every spawn below binds the reference
+// parameter to something that outlives the frame (or hands over ownership),
+// so none of them may be flagged.
+#include "src/sim/simulation.hpp"
+
+using c4h::sim::Simulation;
+using c4h::sim::Task;
+
+struct Counter {
+  int n = 0;
+};
+
+Task<> pump(Counter& c) {
+  co_await c4h::sim::delay_for(1);
+  ++c.n;
+}
+
+Task<> consume(Counter c) {  // by value: the frame owns its copy
+  co_await c4h::sim::delay_for(1);
+  ++c.n;
+}
+
+struct Rig {
+  Simulation sim;
+  Counter counter;
+  std::vector<Counter> pool;
+
+  void ok_member_lvalue() {
+    sim.spawn(pump(counter));  // member outlives the frame
+  }
+
+  void ok_subscript_lvalue() {
+    sim.spawn(pump(pool[0]));  // element lvalue; subscript is not a temporary
+  }
+
+  void ok_by_value_temporary() {
+    sim.spawn(consume(Counter{}));  // by-value parameter copies the temporary
+  }
+
+  void ok_moved_owner(Counter owned) {
+    sim.spawn(consume(std::move(owned)));  // explicit ownership handoff
+  }
+
+  void ok_run_task_temporary() {
+    // run_task drives the frame to completion inside this full expression,
+    // so the temporary outlives every resumption.
+    sim.run_task(pump(Counter{}));
+  }
+};

@@ -1,0 +1,34 @@
+// A2 true positives: capturing coroutine lambdas handed to spawn(). The
+// closure object is a temporary that dies when the spawn statement ends; the
+// detached frame resumes later with every capture dangling.
+#include "src/sim/simulation.hpp"
+
+using c4h::sim::Simulation;
+using c4h::sim::Task;
+
+void bad_ref_capture(Simulation& sim) {
+  int hits = 0;
+  sim.spawn([&hits]() -> Task<> {
+    co_await c4h::sim::delay_for(1);
+    ++hits;  // A2: &hits lives in the dead closure
+  }());
+}
+
+void bad_value_capture(Simulation& sim) {
+  int budget = 3;
+  sim.spawn([budget]() -> Task<> {  // A2: even by-value copies live in the closure
+    co_await c4h::sim::delay_for(budget);
+  }());
+}
+
+struct Node {
+  Simulation* sim = nullptr;
+  int inflight = 0;
+
+  void bad_this_capture() {
+    sim->spawn([this]() -> Task<> {
+      co_await c4h::sim::delay_for(1);
+      ++inflight;  // A2: `this` was captured through the dead closure
+    }());
+  }
+};

@@ -1,0 +1,37 @@
+// A2 near-miss true negatives: coroutine lambdas that are safe — state
+// passed as parameters instead of captures, capturing lambdas driven
+// synchronously, and capturing lambdas that never suspend.
+#include "src/sim/simulation.hpp"
+
+using c4h::sim::Simulation;
+using c4h::sim::Task;
+
+void ok_param_passing(Simulation& sim) {
+  int hits = 0;
+  // The tree idiom: capture-free, state threaded through parameters. The
+  // frame owns copies of its parameters (and holds the int& safely because
+  // `hits` outlives... the caller guarantees that, not the closure).
+  sim.spawn([](Simulation& s, int* h) -> Task<> {
+    co_await c4h::sim::delay_for(1);
+    ++*h;
+  }(sim, &hits));
+}
+
+void ok_synchronous_drive(Simulation& sim) {
+  int hits = 0;
+  // run_task drives to completion inside the full expression: the closure
+  // (and `hits`) outlive every resumption.
+  sim.run_task([&hits]() -> Task<> {
+    co_await c4h::sim::delay_for(1);
+    ++hits;
+  }());
+}
+
+void ok_non_coroutine_capture(Simulation& sim) {
+  int hits = 0;
+  // Capturing lambda without co_await/co_return: an ordinary callback, the
+  // closure is copied into the scheduler, nothing dangles.
+  auto cb = [&hits] { ++hits; };
+  cb();
+  (void)sim;
+}

@@ -1,0 +1,26 @@
+// A3 true positives: container iterators obtained before a co_await and
+// dereferenced after it. While the frame is suspended other coroutines run
+// and may insert (rehash) or erase, invalidating the iterator.
+#include <string>
+#include <unordered_map>
+
+#include "src/sim/simulation.hpp"
+
+using c4h::sim::Task;
+
+struct Store {
+  std::unordered_map<std::string, int> table;
+
+  Task<int> bad_deref_after_await(const std::string& key) {
+    const auto it = table.find(key);
+    if (it == table.end()) co_return -1;
+    co_await c4h::sim::delay_for(5);  // others may mutate `table` here
+    co_return it->second;             // A3: stale iterator dereference
+  }
+
+  Task<int> bad_begin_held(int budget) {
+    auto cursor = table.begin();
+    co_await c4h::sim::delay_for(budget);
+    co_return cursor->second;  // A3: begin() held across suspension
+  }
+};

@@ -1,0 +1,46 @@
+// A3 near-miss true negatives: iterators that never cross a suspension
+// point in a live state — used before the await, re-acquired after it,
+// consumed inside the awaited expression itself, or only crossing awaits
+// that sit in early-exit branches.
+#include <string>
+#include <unordered_map>
+
+#include "src/sim/simulation.hpp"
+
+using c4h::sim::Task;
+
+struct Store {
+  std::unordered_map<std::string, int> table;
+
+  Task<int> ok_use_before_await(const std::string& key) {
+    const auto it = table.find(key);
+    const int v = it == table.end() ? -1 : it->second;  // consumed pre-await
+    co_await c4h::sim::delay_for(5);
+    co_return v;
+  }
+
+  Task<int> ok_refind_after_await(const std::string& key) {
+    auto it = table.find(key);
+    if (it == table.end()) co_return -1;
+    co_await c4h::sim::delay_for(5);
+    it = table.find(key);  // re-acquired: the stale handle is never used
+    co_return it == table.end() ? -1 : it->second;
+  }
+
+  Task<int> ok_use_inside_await_stmt(const std::string& key) {
+    const auto it = table.find(key);
+    if (it == table.end()) co_return -1;
+    // Arguments are evaluated before the suspension, so this use is safe.
+    co_await c4h::sim::delay_for(it->second);
+    co_return 0;
+  }
+
+  Task<int> ok_await_on_early_exit_branch(const std::string& key) {
+    const auto it = table.find(key);
+    if (it == table.end()) {
+      co_await c4h::sim::delay_for(1);  // miss costs a round trip
+      co_return -1;
+    }
+    co_return it->second;  // no await on this path
+  }
+};

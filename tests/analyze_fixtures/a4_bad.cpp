@@ -1,0 +1,23 @@
+// A4 true positive: a member coroutine of a function-local object handed to
+// spawn(). The detached frame keeps `this`; the local dies when the scope
+// exits, long before the frame finishes.
+#include "src/sim/simulation.hpp"
+
+using c4h::sim::Simulation;
+using c4h::sim::Task;
+
+struct Probe {
+  int samples = 0;
+
+  Task<> sample_loop() {
+    for (int i = 0; i < 4; ++i) {
+      co_await c4h::sim::delay_for(10);
+      ++samples;  // writes through the dead local's `this`
+    }
+  }
+};
+
+void bad_local_probe(Simulation& sim) {
+  Probe p;
+  sim.spawn(p.sample_loop());  // A4: `p` dies at the end of this function
+}

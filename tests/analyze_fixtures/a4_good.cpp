@@ -1,0 +1,32 @@
+// A4 near-miss true negatives: spawned member coroutines whose object
+// outlives the frame (member field), and locals that are only driven
+// synchronously.
+#include "src/sim/simulation.hpp"
+
+using c4h::sim::Simulation;
+using c4h::sim::Task;
+
+struct Probe {
+  int samples = 0;
+
+  Task<> sample_loop() {
+    for (int i = 0; i < 4; ++i) {
+      co_await c4h::sim::delay_for(10);
+      ++samples;
+    }
+  }
+};
+
+struct Rig {
+  Simulation sim;
+  Probe probe_;  // member: outlives any frame the Simulation still runs
+
+  void ok_member_probe() {
+    sim.spawn(probe_.sample_loop());  // fine: `this` is the long-lived member
+  }
+};
+
+void ok_synchronous_local(Simulation& sim) {
+  Probe p;
+  sim.run_task(p.sample_loop());  // fine: driven to completion while `p` lives
+}

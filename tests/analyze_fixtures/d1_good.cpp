@@ -1,0 +1,32 @@
+// D1 near-miss true negatives: the same sinks fed from sanctioned sources —
+// simulated time and the seeded Rng — plus wall-clock reads that stay in
+// host-side diagnostics and never touch a sink.
+#include <chrono>
+
+#include "src/common/rng.hpp"
+#include "src/sim/simulation.hpp"
+
+using c4h::sim::Simulation;
+
+void ok_sim_time(Simulation& sim) {
+  const auto t = sim.now().time_since_epoch().count();  // simulated clock
+  sim.schedule(t, [] {});
+}
+
+void ok_seeded_rng(Simulation& sim, c4h::Rng& rng) {
+  const auto jitter = rng.uniform(0, 10);  // seeded, deterministic
+  sim.schedule(jitter, [] {});
+}
+
+long ok_wall_clock_diagnostic_only() {
+  // Reading the host clock is fine while it stays out of simulation state:
+  // this feeds a "-wall" diagnostic printed for humans.
+  const auto wall = std::chrono::steady_clock::now().time_since_epoch().count();
+  return wall;  // (callers printing this never reach a sink)
+}
+
+void ok_member_named_time(Simulation& sim) {
+  // A *member* called time() is not the C library wall clock.
+  const auto t = sim.time();
+  sim.schedule(t, [] {});
+}

@@ -1,0 +1,29 @@
+// D2 true positives: pointer-identity values (address casts, pointer hashes)
+// flowing into containers, metrics, and schedules. Addresses differ run to
+// run under ASLR, so anything keyed or ordered by them diverges.
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "src/sim/simulation.hpp"
+
+using c4h::sim::Simulation;
+
+struct Node {
+  int id = 0;
+};
+
+void bad_address_key(std::vector<std::uint64_t>& keys, Node* n) {
+  const auto key = reinterpret_cast<std::uintptr_t>(n);
+  keys.push_back(key);  // D2: address-derived value stored in sim state
+}
+
+void bad_pointer_hash(c4h::obs::Histogram& h, Node* n) {
+  std::hash<Node*> hasher;
+  h.record(hasher(n));  // D2: pointer hash into metrics
+}
+
+void bad_address_schedule(Simulation& sim, Node* n) {
+  const auto skew = reinterpret_cast<std::uintptr_t>(n) % 7;
+  sim.schedule(skew, [] {});  // D2: ASLR-dependent event time
+}

@@ -1,0 +1,30 @@
+// D2 near-miss true negatives: stable identities (ids, value hashes) into
+// the same sinks, and pointer casts that never produce an integer identity.
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/sim/simulation.hpp"
+
+using c4h::sim::Simulation;
+
+struct Node {
+  int id = 0;
+  std::string name;
+};
+
+void ok_stable_id(std::vector<std::uint64_t>& keys, Node* n) {
+  keys.push_back(static_cast<std::uint64_t>(n->id));  // value identity, stable
+}
+
+void ok_value_hash(c4h::obs::Histogram& h, Node* n) {
+  std::hash<std::string> hasher;  // hashes the value, not the address
+  h.record(hasher(n->name));
+}
+
+void ok_pointer_to_pointer_cast(Simulation& sim, Node* n) {
+  auto* raw = reinterpret_cast<unsigned char*>(n);  // no integer identity
+  (void)raw;
+  sim.schedule(3, [] {});
+}

@@ -1,0 +1,38 @@
+// D3 near-miss true negatives: unordered iteration whose body is a pure
+// commutative reduction, iteration over a sorted view, and order-sensitive
+// bodies over *ordered* containers.
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace fixture_d3 {
+
+std::vector<std::string> sorted_keys(const std::unordered_map<std::string, int>& m);
+
+struct Directory {
+  std::unordered_map<std::string, int> entries;
+  std::map<std::string, int> ordered_entries;
+
+  int ok_commutative_sum() const {
+    int total = 0;
+    for (const auto& [name, size] : entries) {
+      total += size;  // commutative: order cannot be observed
+    }
+    return total;
+  }
+
+  void ok_sorted_view(std::vector<std::string>& out) const {
+    for (const auto& name : sorted_keys(entries)) {
+      out.push_back(name);  // sorted view: deterministic order
+    }
+  }
+
+  void ok_ordered_container(std::vector<std::string>& out) const {
+    for (const auto& [name, size] : ordered_entries) {
+      out.push_back(name);  // std::map iterates in key order
+    }
+  }
+};
+
+}  // namespace fixture_d3

@@ -1,0 +1,26 @@
+// Suppression fixtures: real violations silenced with
+// `// c4h-analyze: allow(RULE)` — inline on the offending line, and as a
+// justification comment on the line(s) above.
+#include <chrono>
+
+#include "src/sim/simulation.hpp"
+
+using c4h::sim::Simulation;
+
+void suppressed_inline(Simulation& sim) {
+  const auto t = std::chrono::steady_clock::now().time_since_epoch().count();
+  sim.schedule(t, [] {});  // c4h-analyze: allow(D1) — host-only smoke rig
+}
+
+void suppressed_from_line_above(Simulation& sim) {
+  const auto t = std::chrono::system_clock::now().time_since_epoch().count();
+  // This rig measures host wall-clock skew on purpose; the schedule is
+  // never compared against goldens.
+  // c4h-analyze: allow(D1)
+  sim.schedule(t, [] {});
+}
+
+void not_suppressed(Simulation& sim) {
+  const auto t = std::chrono::steady_clock::now().time_since_epoch().count();
+  sim.schedule(t, [] {});  // D1 still fires here: allow() covers single lines
+}

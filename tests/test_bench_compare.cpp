@@ -1,0 +1,116 @@
+// End-to-end tests for tools/bench-compare exit codes, focused on the
+// missing-baseline gate: a fresh artifact with no baseline file must not be
+// silently waved through (exit 3 + one-line summary), while matching and
+// drifting artifacts keep their existing codes (0 and 1).
+//
+// The binary path is injected by CMake as C4H_BENCH_COMPARE_BIN.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <sys/stat.h>
+
+namespace {
+
+struct CompareRun {
+  int exit_code;
+  std::string output;
+
+  bool contains(const std::string& needle) const {
+    return output.find(needle) != std::string::npos;
+  }
+};
+
+CompareRun compare(const std::string& args) {
+  const std::string cmd = std::string(C4H_BENCH_COMPARE_BIN) + " " + args + " 2>&1";
+  FILE* pipe = popen(cmd.c_str(), "r");
+  EXPECT_NE(pipe, nullptr) << "popen failed for: " << cmd;
+  CompareRun run{-1, {}};
+  if (pipe == nullptr) return run;
+  std::array<char, 4096> buf;
+  std::size_t got = 0;
+  while ((got = fread(buf.data(), 1, buf.size(), pipe)) > 0) {
+    run.output.append(buf.data(), got);
+  }
+  const int status = pclose(pipe);
+  run.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  return run;
+}
+
+// A tiny valid c4h-bench-v1 artifact with a single simulated row.
+std::string artifact_json(const std::string& bench, double value) {
+  return "{\"schema\":\"c4h-bench-v1\",\"bench\":\"" + bench +
+         "\",\"seed\":42,\"series\":[{\"label\":\"n=8\",\"metric\":\"fetch_ms\",\"value\":" +
+         std::to_string(value) + ",\"unit\":\"ms\"}]}";
+}
+
+// Scratch layout: <tmp>/<name>/{baselines/,fresh/}. Returns the root.
+std::string make_scratch(const std::string& name) {
+  const std::string root = testing::TempDir() + name;
+  ::mkdir(root.c_str(), 0755);
+  ::mkdir((root + "/baselines").c_str(), 0755);
+  ::mkdir((root + "/fresh").c_str(), 0755);
+  return root;
+}
+
+void write_file(const std::string& path, const std::string& text) {
+  std::ofstream(path) << text;
+}
+
+}  // namespace
+
+TEST(BenchCompare, MatchingBaselineIsClean) {
+  const std::string root = make_scratch("bc_clean");
+  write_file(root + "/baselines/BENCH_demo.json", artifact_json("demo", 12.5));
+  write_file(root + "/fresh/BENCH_demo.json", artifact_json("demo", 12.5));
+  const CompareRun r =
+      compare("--baseline " + root + "/baselines " + root + "/fresh/BENCH_demo.json");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_TRUE(r.contains("ok")) << r.output;
+}
+
+TEST(BenchCompare, SimulatedDriftFails) {
+  const std::string root = make_scratch("bc_drift");
+  write_file(root + "/baselines/BENCH_demo.json", artifact_json("demo", 12.5));
+  write_file(root + "/fresh/BENCH_demo.json", artifact_json("demo", 13.0));
+  const CompareRun r =
+      compare("--baseline " + root + "/baselines " + root + "/fresh/BENCH_demo.json");
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_TRUE(r.contains("DRIFT")) << r.output;
+}
+
+TEST(BenchCompare, MissingBaselineIsADistinctFailure) {
+  // The regression this gate exists for: a brand-new bench with no baseline
+  // used to print "skipped" and exit 0, so CI never noticed it was ungated.
+  const std::string root = make_scratch("bc_missing");
+  write_file(root + "/fresh/BENCH_newbench.json", artifact_json("newbench", 1.0));
+  const CompareRun r =
+      compare("--baseline " + root + "/baselines " + root + "/fresh/BENCH_newbench.json");
+  EXPECT_EQ(r.exit_code, 3) << r.output;
+  EXPECT_TRUE(r.contains("MISSING baseline (BENCH_newbench.json)")) << r.output;
+  EXPECT_TRUE(r.contains("1 artifact(s) with no baseline")) << r.output;
+}
+
+TEST(BenchCompare, DriftOutranksMissingBaseline) {
+  // When one artifact drifts and another is unbaselined, the drift exit code
+  // wins (it is the more actionable failure), but both are reported.
+  const std::string root = make_scratch("bc_both");
+  write_file(root + "/baselines/BENCH_demo.json", artifact_json("demo", 12.5));
+  write_file(root + "/fresh/BENCH_demo.json", artifact_json("demo", 99.0));
+  write_file(root + "/fresh/BENCH_newbench.json", artifact_json("newbench", 1.0));
+  const CompareRun r = compare("--baseline " + root + "/baselines " + root +
+                               "/fresh/BENCH_demo.json " + root + "/fresh/BENCH_newbench.json");
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_TRUE(r.contains("DRIFT")) << r.output;
+  EXPECT_TRUE(r.contains("MISSING baseline (BENCH_newbench.json)")) << r.output;
+}
+
+TEST(BenchCompare, MalformedFreshArtifactIsAnIoError) {
+  const std::string root = make_scratch("bc_malformed");
+  write_file(root + "/fresh/BENCH_demo.json", "{ not json");
+  const CompareRun r =
+      compare("--baseline " + root + "/baselines " + root + "/fresh/BENCH_demo.json");
+  EXPECT_EQ(r.exit_code, 2) << r.output;
+}

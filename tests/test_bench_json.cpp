@@ -74,6 +74,65 @@ TEST(JsonParse, RejectsTrailingGarbage) {
   EXPECT_FALSE(json_parse("").ok());
 }
 
+// --- Edge cases both bench-compare and the analyzer baseline lean on ----------
+
+TEST(JsonParse, EscapeSequencesRoundTripThroughStrings) {
+  auto parsed = json_parse(R"({"s":"a\"b\\c\nd\tef\/g"})");
+  ASSERT_TRUE(parsed.ok()) << parsed.error().message;
+  EXPECT_EQ(parsed->find("s")->str, "a\"b\\c\nd\tef/g");
+}
+
+TEST(JsonParse, RejectsBadEscapes) {
+  EXPECT_FALSE(json_parse(R"({"s":"bad \q escape"})").ok());
+  EXPECT_FALSE(json_parse(R"({"s":"truncated \u00"})").ok());
+  EXPECT_FALSE(json_parse(R"({"s":"bad hex \u00zz"})").ok());
+  EXPECT_FALSE(json_parse("{\"s\":\"unterminated").ok());
+}
+
+TEST(JsonParse, NestedArraysParseToNestedItems) {
+  auto parsed = json_parse(R"({"grid":[[1,2],[3,[4,5]],[]]})");
+  ASSERT_TRUE(parsed.ok()) << parsed.error().message;
+  const JsonValue* grid = parsed->find("grid");
+  ASSERT_NE(grid, nullptr);
+  ASSERT_EQ(grid->items.size(), 3u);
+  ASSERT_EQ(grid->items[0].items.size(), 2u);
+  EXPECT_DOUBLE_EQ(grid->items[0].items[1].num, 2.0);
+  ASSERT_EQ(grid->items[1].items.size(), 2u);
+  EXPECT_DOUBLE_EQ(grid->items[1].items[1].items[0].num, 4.0);
+  EXPECT_TRUE(grid->items[2].items.empty());
+}
+
+TEST(JsonParse, TruncatedInputAtEveryDepthIsAnError) {
+  // Cut a valid document off after each prefix: no prefix except the whole
+  // document may parse (a truncated baseline must never half-load).
+  const std::string doc = R"({"a":[1,{"b":"x"},3],"c":{"d":[true,null]}})";
+  for (std::size_t cut = 0; cut < doc.size(); ++cut) {
+    EXPECT_FALSE(json_parse(doc.substr(0, cut)).ok()) << "prefix length " << cut;
+  }
+  EXPECT_TRUE(json_parse(doc).ok());
+}
+
+TEST(JsonParse, DuplicateKeysKeepBothMembersAndFindReturnsFirst) {
+  // The parser preserves document order and does not dedupe; find() resolves
+  // to the first occurrence, so a crafted duplicate can't shadow a value
+  // that was already validated.
+  auto parsed = json_parse(R"({"k":1,"k":2,"other":3})");
+  ASSERT_TRUE(parsed.ok()) << parsed.error().message;
+  ASSERT_EQ(parsed->members.size(), 3u);
+  EXPECT_DOUBLE_EQ(parsed->members[0].second.num, 1.0);
+  EXPECT_DOUBLE_EQ(parsed->members[1].second.num, 2.0);
+  EXPECT_DOUBLE_EQ(parsed->find("k")->num, 1.0);
+}
+
+TEST(JsonParse, MalformedNumbersAreErrors) {
+  EXPECT_FALSE(json_parse(R"({"n":1.2.3})").ok());
+  EXPECT_FALSE(json_parse(R"({"n":--4})").ok());
+  EXPECT_FALSE(json_parse(R"({"n":1e})").ok());
+  auto ok = json_parse(R"({"n":-1.25e2})");
+  ASSERT_TRUE(ok.ok()) << ok.error().message;
+  EXPECT_DOUBLE_EQ(ok->find("n")->num, -125.0);
+}
+
 // --- BenchReport schema --------------------------------------------------------
 
 BenchReport sample_report() {

@@ -155,6 +155,31 @@ TEST(Kv, EraseRemovesEverywhere) {
   });
 }
 
+TEST(Kv, EraseLandingInsideLocalAccessWindowIsNotServedStale) {
+  // Regression: get_all's local fast path held the primary-table iterator
+  // across the local-access delay; an erase that landed during that window
+  // left the iterator dangling and the resume dereferenced it. The path now
+  // re-finds after the suspension and reports the eviction.
+  Rig rig{6};
+  rig.run([](Rig& r) -> Task<> {
+    const Key k = Key::from_name("obj-racy");
+    (void)co_await r.kv->put(*r.nodes[0], k, buf("v"));
+    // Ask the owner itself, so the get takes the local fast path and parks
+    // in the local-access delay; fire the erase while it is suspended.
+    overlay::ChimeraNode* owner = r.overlay->node_by_key(r.overlay->true_owner(k));
+    EXPECT_NE(owner, nullptr);
+    if (owner == nullptr) co_return;
+    r.sim.spawn([](Rig& rr, overlay::ChimeraNode& o, Key key) -> Task<> {
+      co_await rr.sim.delay(microseconds(2500));  // inside the window
+      (void)co_await rr.kv->erase(o, key);
+    }(r, *owner, k));
+    auto got = co_await r.kv->get_all(*owner, k);
+    EXPECT_FALSE(got.ok());
+    EXPECT_EQ(got.code(), Errc::not_found) << got.error().message;
+    EXPECT_EQ(r.kv->total_entries(), 0u);
+  });
+}
+
 TEST(Kv, RepeatedGetHitsCacheOrLocal) {
   KvConfig cfg;
   cfg.path_caching = true;

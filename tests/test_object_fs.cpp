@@ -31,6 +31,32 @@ TEST(ObjectFs, WriteReadRoundTrip) {
   });
 }
 
+TEST(ObjectFs, RemoveDuringTransferDoesNotDisturbInFlightRead) {
+  // Regression: read() dereferenced its files_ iterator after the transfer
+  // delay; a remove (or table-rehashing write) landing inside the delay left
+  // it dangling. The size is now copied before suspending, so the in-flight
+  // read completes with the size it started with.
+  Simulation sim;
+  ObjectFs fs{sim};
+  run(sim, [&]() -> Task<> {
+    auto w = co_await fs.write("victim.bin", 4_MB, Bin::mandatory);
+    EXPECT_TRUE(w.ok());
+    // Erase the entry and churn the table while the read is mid-transfer.
+    sim.schedule(milliseconds(1), [&fs] {
+      EXPECT_TRUE(fs.remove("victim.bin").ok());
+    });
+    sim.spawn([](ObjectFs& f) -> Task<> {
+      for (int i = 0; i < 64; ++i) {
+        (void)co_await f.write("churn-" + std::to_string(i), 1_KB, Bin::voluntary);
+      }
+    }(fs));
+    auto r = co_await fs.read("victim.bin");
+    EXPECT_TRUE(r.ok());
+    if (r.ok()) EXPECT_EQ(*r, 4_MB);
+    EXPECT_FALSE(fs.contains("victim.bin"));
+  });
+}
+
 TEST(ObjectFs, ReadMissingFileFails) {
   Simulation sim;
   ObjectFs fs{sim};

@@ -257,6 +257,35 @@ TEST(Simulation, DestructorCleansUpSuspendedDetachedTasks) {
   SUCCEED();
 }
 
+TEST(Simulation, RunTaskSurvivesTaskThatOutlivesTheCall) {
+  // run_task's completion flag must be co-owned by the marker frame: when the
+  // driven task parks on an event that never fires, the queue drains and
+  // run_task returns with the frame still suspended. Completing the task
+  // afterwards used to write through a reference into run_task's dead stack
+  // frame; now it lands in shared state. (Fails under ASan on the old code.)
+  Simulation sim;
+  Event gate{sim};
+  bool finished = false;
+  sim.run_task([](Event& g, bool& fin) -> Task<> {
+    co_await g.wait();
+    fin = true;
+  }(gate, finished));
+  EXPECT_FALSE(finished);  // queue drained with the task still parked
+
+  // Wake the parked frame well after run_task returned.
+  sim.schedule(milliseconds(1), [&gate] { gate.fire(); });
+  sim.run();
+  EXPECT_TRUE(finished);
+
+  // The simulation stays usable for a second, completing run_task.
+  bool second = false;
+  sim.run_task([](Simulation& s, bool& fin) -> Task<> {
+    co_await s.delay(milliseconds(2));
+    fin = true;
+  }(sim, second));
+  EXPECT_TRUE(second);
+}
+
 TEST(Simulation, DeterministicAcrossRuns) {
   auto run_once = [] {
     Simulation sim{123};
@@ -382,6 +411,38 @@ TEST(EventArena, CallbackSchedulingDuringFireIsSafe) {
   sim.run();
   EXPECT_EQ(hops, 500);
   EXPECT_EQ(sim.pending_event_count(), 0u);
+}
+
+TEST(EventArena, SlotGrowthRelocatesNonTriviallyMovableCaptures) {
+  // Inline callables only promise nothrow move-construction, not trivial
+  // relocatability. Growing the slot table must route the move through the
+  // callable's move constructor (the ops relocate hook), not a byte copy —
+  // a self-referential capture detects the difference.
+  struct SelfRef {
+    std::uint32_t value;
+    SelfRef* self;
+    explicit SelfRef(std::uint32_t v) : value(v), self(this) {}
+    SelfRef(const SelfRef& o) : value(o.value), self(this) {}
+    SelfRef(SelfRef&& o) noexcept : value(o.value), self(this) {}
+    bool intact() const { return self == this; }
+  };
+  static_assert(sizeof(SelfRef) <= EventArena::kInlineBytes);
+
+  Simulation sim;
+  int fired = 0;
+  int intact = 0;
+  // Enough events to force several slots_ reallocations while all earlier
+  // callables are still pending.
+  for (std::uint32_t i = 0; i < 300; ++i) {
+    sim.schedule(milliseconds(1 + static_cast<std::int64_t>(i)),
+                 [sr = SelfRef{i}, &fired, &intact] {
+                   ++fired;
+                   if (sr.intact()) ++intact;
+                 });
+  }
+  sim.run();
+  EXPECT_EQ(fired, 300);
+  EXPECT_EQ(intact, 300);
 }
 
 TEST(EventArena, EventsExecutedCounts) {

@@ -12,7 +12,9 @@
 //                 [--wall-slack 1.5] [--require-all]
 //
 // Exit codes: 0 = clean (warnings allowed), 1 = simulated drift (or missing
-// rows under --require-all), 2 = usage / IO / parse error.
+// rows under --require-all), 2 = usage / IO / parse error, 3 = a fresh
+// artifact has no baseline file at all (a new bench must be baselined
+// deliberately, not silently waved through).
 //
 // A fresh artifact may carry a *subset* of the baseline's rows (the --quick
 // lanes run shortened sweeps; every label they do produce is seed-identical
@@ -143,6 +145,7 @@ int main(int argc, char** argv) {
 
   int drift = 0;
   int warnings = 0;
+  int missing_baselines = 0;
   for (const std::string& path : fresh) {
     const std::string base_path = baseline_dir + '/' + basename_of(path);
     Artifact now;
@@ -153,8 +156,9 @@ int main(int argc, char** argv) {
     }
     Artifact base;
     if (!load_artifact(base_path, base, err)) {
-      std::printf("%-28s no baseline (%s) — skipped\n", now.bench.c_str(),
+      std::printf("%-28s MISSING baseline (%s)\n", now.bench.c_str(),
                   basename_of(base_path).c_str());
+      ++missing_baselines;
       continue;
     }
     if (base.seed != now.seed) {
@@ -213,6 +217,12 @@ int main(int argc, char** argv) {
     std::printf("simulated-metric drift detected: rebaseline deliberately (see "
                 "bench/baselines/README.md) or fix the regression\n");
     return 1;
+  }
+  if (missing_baselines > 0) {
+    std::printf("%d artifact(s) with no baseline: check in bench/baselines/ entries for new "
+                "benches before they can gate\n",
+                missing_baselines);
+    return 3;
   }
   return 0;
 }

@@ -1,0 +1,214 @@
+#include "tools/c4h-analyze/lexer.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+namespace c4h::analyze {
+
+namespace {
+
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+// Parses "c4h-analyze: allow(A3,D1)" occurrences out of a comment. Comment-only
+// lines are collected into `pending` and attached to the next code line after
+// tokenization (the lexer does not yet know where the code is).
+void parse_allow(const std::string& comment, int line, bool comment_only, SourceFile& f,
+                 std::vector<std::pair<int, std::string>>& pending) {
+  const std::string tag = "c4h-analyze: allow(";
+  std::size_t pos = 0;
+  while ((pos = comment.find(tag, pos)) != std::string::npos) {
+    pos += tag.size();
+    const std::size_t close = comment.find(')', pos);
+    if (close == std::string::npos) return;
+    std::stringstream list(comment.substr(pos, close - pos));
+    std::string rule;
+    while (std::getline(list, rule, ',')) {
+      rule.erase(std::remove_if(rule.begin(), rule.end(),
+                                [](unsigned char c) { return std::isspace(c); }),
+                 rule.end());
+      if (rule.empty()) continue;
+      f.allow[line].insert(rule);
+      if (comment_only) pending.emplace_back(line, rule);
+    }
+    pos = close;
+  }
+}
+
+void tokenize(SourceFile& f) {
+  enum class St { code, line_comment, block_comment, str, chr, raw_str, pp };
+  St st = St::code;
+  std::string comment, raw_delim;
+  bool line_has_code = false;
+  int comment_line = 0;
+  std::vector<std::pair<int, std::string>> pending_allow;
+
+  auto flush_comment = [&](int line) {
+    if (!comment.empty()) parse_allow(comment, line, !line_has_code, f, pending_allow);
+    comment.clear();
+  };
+
+  for (int ln = 0; ln < static_cast<int>(f.raw_lines.size()); ++ln) {
+    const std::string& s = f.raw_lines[ln];
+    const int line = ln + 1;
+    if (st == St::line_comment) {
+      flush_comment(comment_line);
+      st = St::code;
+    }
+    if (st == St::pp) {  // previous directive line ended with a backslash
+      if (s.empty() || s.back() != '\\') st = St::code;
+      continue;
+    }
+    if (st == St::code) {
+      line_has_code = false;
+      const std::size_t first = s.find_first_not_of(" \t");
+      if (first != std::string::npos && s[first] == '#') {
+        if (!s.empty() && s.back() == '\\') st = St::pp;
+        continue;
+      }
+    }
+    for (std::size_t i = 0; i < s.size(); ++i) {
+      const char c = s[i];
+      const char n = i + 1 < s.size() ? s[i + 1] : '\0';
+      switch (st) {
+        case St::pp:
+          break;
+        case St::line_comment:
+          comment += c;
+          break;
+        case St::block_comment:
+          if (c == '*' && n == '/') {
+            ++i;
+            flush_comment(comment_line);
+            st = St::code;
+          } else {
+            comment += c;
+          }
+          break;
+        case St::str:
+          if (c == '\\') ++i;
+          else if (c == '"') st = St::code;
+          break;
+        case St::chr:
+          if (c == '\\') ++i;
+          else if (c == '\'') st = St::code;
+          break;
+        case St::raw_str:
+          if (c == ')' && s.compare(i + 1, raw_delim.size() + 1, raw_delim + "\"") == 0) {
+            i += raw_delim.size() + 1;
+            st = St::code;
+          }
+          break;
+        case St::code: {
+          if (c == '/' && n == '/') {
+            st = St::line_comment;
+            comment_line = line;
+            ++i;
+            break;
+          }
+          if (c == '/' && n == '*') {
+            st = St::block_comment;
+            comment_line = line;
+            ++i;
+            break;
+          }
+          if (c == 'R' && n == '"' && (i == 0 || !ident_char(s[i - 1]))) {
+            const std::size_t open = s.find('(', i + 2);
+            if (open != std::string::npos) {
+              raw_delim = s.substr(i + 2, open - (i + 2));
+              st = St::raw_str;
+              i = open;
+              line_has_code = true;
+              f.toks.push_back({Token::Kind::str, "<str>", line});
+              break;
+            }
+          }
+          if (c == '"') {
+            st = St::str;
+            line_has_code = true;
+            f.toks.push_back({Token::Kind::str, "<str>", line});
+            break;
+          }
+          if (c == '\'') {
+            // Digit separators (1'000'000) are not character literals.
+            if (i > 0 && std::isdigit(static_cast<unsigned char>(s[i - 1])) && ident_char(n)) break;
+            st = St::chr;
+            line_has_code = true;
+            f.toks.push_back({Token::Kind::str, "<chr>", line});
+            break;
+          }
+          if (std::isspace(static_cast<unsigned char>(c))) break;
+          line_has_code = true;
+          if (ident_char(c) && !std::isdigit(static_cast<unsigned char>(c))) {
+            std::size_t j = i;
+            while (j < s.size() && ident_char(s[j])) ++j;
+            f.toks.push_back({Token::Kind::ident, s.substr(i, j - i), line});
+            i = j - 1;
+            break;
+          }
+          if (std::isdigit(static_cast<unsigned char>(c))) {
+            std::size_t j = i;
+            while (j < s.size() && (ident_char(s[j]) || s[j] == '.' || s[j] == '\'')) ++j;
+            f.toks.push_back({Token::Kind::number, s.substr(i, j - i), line});
+            i = j - 1;
+            break;
+          }
+          // ">>" is deliberately absent: it usually closes two template
+          // argument lists (Task<Result<T>>), so it must lex as two ">".
+          static const char* two[] = {"::", "->", "&&", "||", "==", "!=",
+                                      "<=", ">=", "+=", "-=", "<<"};
+          std::string t(1, c);
+          for (const char* op : two) {
+            if (c == op[0] && n == op[1]) {
+              t = op;
+              ++i;
+              break;
+            }
+          }
+          f.toks.push_back({Token::Kind::punct, t, line});
+          break;
+        }
+      }
+    }
+    if (st == St::line_comment) continue;  // flushed at the top of the next line
+    if (st == St::str || st == St::chr) st = St::code;  // unterminated: resync
+  }
+  flush_comment(comment_line);
+
+  // Attach comment-only allows to the next line holding code.
+  std::set<int> code_lines;
+  for (const Token& t : f.toks) code_lines.insert(t.line);
+  for (const auto& [line, rule] : pending_allow) {
+    const auto next = code_lines.upper_bound(line);
+    if (next != code_lines.end()) f.allow[*next].insert(rule);
+  }
+}
+
+bool has_suffix(const std::string& s, const std::string& suf) {
+  return s.size() >= suf.size() &&
+         s.compare(s.size() - suf.size(), suf.size(), suf) == 0;
+}
+
+}  // namespace
+
+bool load_file(const std::string& path, SourceFile& f) {
+  std::ifstream in(path);
+  if (!in) return false;
+  f.path = path;
+  f.is_header = has_suffix(path, ".hpp") || has_suffix(path, ".h");
+  std::string line;
+  while (std::getline(in, line)) f.raw_lines.push_back(line);
+  tokenize(f);
+  return true;
+}
+
+bool allowed(const SourceFile& f, int line, const std::string& rule) {
+  const auto it = f.allow.find(line);
+  return it != f.allow.end() && it->second.count(rule) > 0;
+}
+
+}  // namespace c4h::analyze

@@ -1,0 +1,521 @@
+#include "tools/c4h-analyze/model.hpp"
+
+#include <set>
+
+namespace c4h::analyze {
+
+namespace {
+
+const std::set<std::string>& control_keywords() {
+  static const std::set<std::string> kw = {
+      "if",       "for",      "while",   "switch",    "catch",   "return",
+      "co_return", "co_await", "co_yield", "new",      "delete",  "throw",
+      "sizeof",   "alignof",  "decltype", "typeid",    "else",    "do",
+      "constexpr", "consteval", "noexcept", "operator", "defined",
+      "static_assert", "assert", "alignas", "requires"};
+  return kw;
+}
+
+const std::set<std::string>& stmt_keywords() {
+  static const std::set<std::string> kw = {
+      "if",    "for",      "while",     "do",      "switch",  "return", "co_return",
+      "break", "continue", "case",      "default", "goto",    "try",    "else",
+      "using", "typedef",  "namespace", "class",   "struct",  "enum",   "template",
+      "public", "private", "protected", "delete",  "throw",   "co_await", "co_yield",
+      "static_assert", "friend"};
+  return kw;
+}
+
+bool is_type_tok(const Token& t) {
+  if (t.kind == Token::Kind::ident) return true;
+  return t.text == "::" || t.text == "&" || t.text == "&&" || t.text == "*" ||
+         t.text == ">" || t.text == "<";
+}
+
+// GTest-style macros whose "body" is an anonymous test function; analyzing
+// them catches hazards seeded in test code too.
+bool test_macro(const std::string& name) {
+  return name == "TEST" || name == "TEST_F" || name == "TEST_P" || name == "TYPED_TEST";
+}
+
+}  // namespace
+
+std::size_t skip_angles(const std::vector<Token>& toks, std::size_t i) {
+  if (i >= toks.size() || toks[i].text != "<") return std::string::npos;
+  int depth = 0;
+  for (; i < toks.size(); ++i) {
+    const std::string& t = toks[i].text;
+    if (t == "<") ++depth;
+    else if (t == ">") {
+      if (--depth == 0) return i + 1;
+    } else if (t == ";" || t == "{" || t == ")") {
+      return std::string::npos;  // a comparison, not a template argument list
+    }
+  }
+  return std::string::npos;
+}
+
+std::size_t match_close(const std::vector<Token>& toks, std::size_t i) {
+  if (i >= toks.size()) return std::string::npos;
+  const std::string open = toks[i].text;
+  const std::string close = open == "(" ? ")" : open == "{" ? "}" : open == "[" ? "]" : "";
+  if (close.empty()) return std::string::npos;
+  int depth = 0;
+  for (; i < toks.size(); ++i) {
+    if (toks[i].text == open) ++depth;
+    else if (toks[i].text == close && --depth == 0) return i;
+  }
+  return std::string::npos;
+}
+
+std::vector<std::pair<std::size_t, std::size_t>> split_args(const std::vector<Token>& toks,
+                                                            std::size_t open,
+                                                            std::size_t close) {
+  std::vector<std::pair<std::size_t, std::size_t>> parts;
+  std::size_t start = open + 1;
+  int paren = 0, brace = 0, bracket = 0, angle = 0;
+  for (std::size_t i = open + 1; i < close; ++i) {
+    const std::string& t = toks[i].text;
+    if (t == "(") ++paren;
+    else if (t == ")") --paren;
+    else if (t == "{") ++brace;
+    else if (t == "}") --brace;
+    else if (t == "[") ++bracket;
+    else if (t == "]") --bracket;
+    else if (t == "<") ++angle;
+    else if (t == ">" && angle > 0) --angle;
+    else if (t == "," && paren == 0 && brace == 0 && bracket == 0 && angle == 0) {
+      parts.emplace_back(start, i);
+      start = i + 1;
+    }
+  }
+  if (start < close) parts.emplace_back(start, close);
+  return parts;
+}
+
+Param parse_param(const std::vector<Token>& toks, std::size_t begin, std::size_t end) {
+  Param p;
+  // Ignore everything from a top-level '=' (default argument) onward.
+  int depth = 0;
+  std::size_t stop = end;
+  for (std::size_t i = begin; i < end; ++i) {
+    const std::string& t = toks[i].text;
+    if (t == "(" || t == "{" || t == "[" || t == "<") ++depth;
+    else if (t == ")" || t == "}" || t == "]" || t == ">") --depth;
+    else if (t == "=" && depth == 0) {
+      stop = i;
+      break;
+    }
+  }
+  for (std::size_t i = begin; i < stop; ++i) {
+    const Token& t = toks[i];
+    if (t.text == "&") p.is_ref = true;
+    else if (t.text == "&&") p.is_rref = true;
+    else if (t.text == "*") p.is_ptr = true;
+    else if (t.text == "const") p.is_const = true;
+    else if (t.kind == Token::Kind::ident) p.name = t.text;  // last ident wins
+  }
+  return p;
+}
+
+namespace {
+
+struct Parser {
+  const SourceFile& f;
+  const std::vector<Token>& toks;
+  FileModel out;
+
+  explicit Parser(const SourceFile& file) : f(file), toks(file.toks) { out.file = &file; }
+
+  bool is_coroutine_range(std::size_t begin, std::size_t end) const {
+    for (std::size_t i = begin; i < end; ++i) {
+      const std::string& t = toks[i].text;
+      if (t == "co_await" || t == "co_return" || t == "co_yield") return true;
+    }
+    return false;
+  }
+
+  bool return_type_mentions_task(std::size_t chain_begin) const {
+    // Walk back from the name chain to the previous declaration boundary.
+    std::size_t i = chain_begin;
+    for (int steps = 0; i > 0 && steps < 24; ++steps) {
+      const Token& t = toks[i - 1];
+      if (t.text == ";" || t.text == "{" || t.text == "}" || t.text == ":" ||
+          t.text == "(" || t.text == ",") {
+        break;
+      }
+      if (t.text == "Task") return true;
+      --i;
+    }
+    return false;
+  }
+
+  // Walks a constructor member-initializer list starting at toks[j] == ":".
+  // Returns the index of the body "{", or npos.
+  std::size_t skip_ctor_inits(std::size_t j) const {
+    ++j;  // past ':'
+    while (j < toks.size()) {
+      // Member name (possibly qualified / templated base class).
+      bool saw_name = false;
+      while (j < toks.size() &&
+             (toks[j].kind == Token::Kind::ident || toks[j].text == "::")) {
+        saw_name = toks[j].kind == Token::Kind::ident || saw_name;
+        ++j;
+      }
+      if (j < toks.size() && toks[j].text == "<") {
+        const std::size_t k = skip_angles(toks, j);
+        if (k == std::string::npos) return std::string::npos;
+        j = k;
+      }
+      if (j >= toks.size()) return std::string::npos;
+      if (toks[j].text == "{" && !saw_name) return j;  // the body
+      if (toks[j].text != "(" && toks[j].text != "{") return std::string::npos;
+      const std::size_t close = match_close(toks, j);
+      if (close == std::string::npos) return std::string::npos;
+      j = close + 1;
+      if (j < toks.size() && toks[j].text == ",") {
+        ++j;
+        continue;
+      }
+      return (j < toks.size() && toks[j].text == "{") ? j : std::string::npos;
+    }
+    return std::string::npos;
+  }
+
+  void run() {
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+      if (toks[i].text != "(" || i == 0) continue;
+      const Token& prev = toks[i - 1];
+      if (prev.kind != Token::Kind::ident || control_keywords().count(prev.text) > 0) continue;
+
+      // Name chain: ident (:: ident)* walking back from the '('.
+      std::size_t chain_begin = i - 1;
+      std::vector<std::string> parts{prev.text};
+      while (chain_begin >= 2 && toks[chain_begin - 1].text == "::" &&
+             toks[chain_begin - 2].kind == Token::Kind::ident) {
+        chain_begin -= 2;
+        parts.insert(parts.begin(), toks[chain_begin].text);
+      }
+
+      const std::size_t close = match_close(toks, i);
+      if (close == std::string::npos) break;
+
+      // Skip trailing qualifiers: const/noexcept/override/final/-> type.
+      std::size_t j = close + 1;
+      while (j < toks.size()) {
+        const std::string& t = toks[j].text;
+        if (t == "const" || t == "noexcept" || t == "override" || t == "final" ||
+            t == "mutable") {
+          ++j;
+          if (t == "noexcept" && j < toks.size() && toks[j].text == "(") {
+            const std::size_t c = match_close(toks, j);
+            if (c == std::string::npos) break;
+            j = c + 1;
+          }
+          continue;
+        }
+        if (t == "->") {  // trailing return type
+          ++j;
+          while (j < toks.size() &&
+                 (toks[j].kind == Token::Kind::ident || toks[j].text == "::" ||
+                  toks[j].text == "&" || toks[j].text == "*" || toks[j].text == "const")) {
+            ++j;
+          }
+          if (j < toks.size() && toks[j].text == "<") {
+            const std::size_t c = skip_angles(toks, j);
+            if (c == std::string::npos) break;
+            j = c;
+          }
+          continue;
+        }
+        break;
+      }
+      if (j >= toks.size()) continue;
+
+      const bool two_ident_decl =
+          chain_begin > 0 && is_type_tok(toks[chain_begin - 1]) &&
+          control_keywords().count(toks[chain_begin - 1].text) == 0 &&
+          stmt_keywords().count(toks[chain_begin - 1].text) == 0;
+
+      std::size_t body = std::string::npos;
+      if (toks[j].text == "{") {
+        body = j;
+      } else if (toks[j].text == ":") {
+        body = skip_ctor_inits(j);
+      } else if (toks[j].text == ";") {
+        // Declaration without body: only trust it when a return type precedes
+        // the name (otherwise `foo(a);` at statement scope is a plain call).
+        if (!two_ident_decl) continue;
+      } else {
+        continue;
+      }
+      if (toks[j].text != ";" && body == std::string::npos) continue;
+
+      Function fn;
+      fn.name = parts.back();
+      fn.line = prev.line;
+      if (test_macro(fn.name)) {
+        // TEST(Suite, Name): synthesize the qualified name from the args.
+        const auto args = split_args(toks, i, close);
+        std::string q;
+        for (const auto& [b, e] : args) {
+          for (std::size_t k = b; k < e; ++k) {
+            if (toks[k].kind == Token::Kind::ident) q += toks[k].text;
+          }
+          q += '.';
+        }
+        if (!q.empty()) q.pop_back();
+        fn.qual = q;
+      } else {
+        for (std::size_t p = 0; p + 1 < parts.size(); ++p) fn.qual += parts[p] + "::";
+        fn.qual += parts.back();
+        for (const auto& [b, e] : split_args(toks, i, close)) {
+          fn.params.push_back(parse_param(toks, b, e));
+        }
+      }
+      fn.returns_task = return_type_mentions_task(chain_begin);
+
+      if (body != std::string::npos) {
+        const std::size_t body_end = match_close(toks, body);
+        if (body_end == std::string::npos) continue;
+        fn.has_body = true;
+        fn.body_begin = body;
+        fn.body_end = body_end;
+        analyze_body(fn);
+        out.fns.push_back(std::move(fn));
+        i = body;  // resume after the body head; nested lambdas were handled
+        i = body_end;
+      } else {
+        out.fns.push_back(std::move(fn));
+        i = close;
+      }
+    }
+  }
+
+  bool inside_lambda(const Function& fn, std::size_t tok) const {
+    for (const Lambda& l : fn.lambdas) {
+      if (l.body_begin != 0 && tok > l.body_begin && tok < l.body_end) return true;
+    }
+    return false;
+  }
+
+  void analyze_body(Function& fn) {
+    find_lambdas(fn);
+
+    for (std::size_t i = fn.body_begin + 1; i < fn.body_end; ++i) {
+      const std::string& t = toks[i].text;
+      if (t == "co_await" && !inside_lambda(fn, i)) fn.awaits.push_back(i);
+    }
+    fn.is_coroutine = is_coroutine_range(fn.body_begin, fn.body_end) &&
+                      [&] {  // a coroutine of its own, not only via nested lambdas
+                        for (std::size_t i = fn.body_begin + 1; i < fn.body_end; ++i) {
+                          const std::string& t = toks[i].text;
+                          if ((t == "co_await" || t == "co_return" || t == "co_yield") &&
+                              !inside_lambda(fn, i)) {
+                            return true;
+                          }
+                        }
+                        return false;
+                      }();
+
+    find_decls(fn);
+  }
+
+  void find_lambdas(Function& fn) {
+    for (std::size_t i = fn.body_begin + 1; i < fn.body_end; ++i) {
+      if (toks[i].text != "[") continue;
+      const Token& prev = toks[i - 1];
+      // Subscripts follow a value; attributes are "[[".
+      if (prev.kind == Token::Kind::ident || prev.kind == Token::Kind::number ||
+          prev.kind == Token::Kind::str || prev.text == ")" || prev.text == "]") {
+        continue;
+      }
+      if (i + 1 < fn.body_end && toks[i + 1].text == "[") {
+        ++i;  // attribute: skip both brackets
+        continue;
+      }
+      const std::size_t intro_close = match_close(toks, i);
+      if (intro_close == std::string::npos) continue;
+
+      Lambda l;
+      l.intro = i;
+      l.line = toks[i].line;
+      for (std::size_t k = i + 1; k < intro_close; ++k) {
+        l.has_captures = true;
+        if (toks[k].text == "&") l.captures_ref = true;
+        if (toks[k].text == "this") l.captures_this = true;
+      }
+      std::size_t j = intro_close + 1;
+      if (j < fn.body_end && toks[j].text == "(") {
+        const std::size_t c = match_close(toks, j);
+        if (c == std::string::npos) continue;
+        j = c + 1;
+      }
+      while (j < fn.body_end &&
+             (toks[j].text == "mutable" || toks[j].text == "noexcept" ||
+              toks[j].text == "constexpr" || toks[j].kind == Token::Kind::ident ||
+              toks[j].text == "->" || toks[j].text == "::" || toks[j].text == "&" ||
+              toks[j].text == "*")) {
+        if (toks[j].text == "->") {
+          ++j;
+          continue;
+        }
+        if (toks[j].kind == Token::Kind::ident && j + 1 < fn.body_end &&
+            toks[j + 1].text == "<") {
+          const std::size_t c = skip_angles(toks, j + 1);
+          if (c != std::string::npos) {
+            j = c;
+            continue;
+          }
+        }
+        ++j;
+      }
+      if (j >= fn.body_end || toks[j].text != "{") continue;
+      const std::size_t body_end = match_close(toks, j);
+      if (body_end == std::string::npos) continue;
+      l.body_begin = j;
+      l.body_end = body_end;
+      l.is_coroutine = is_coroutine_range(j, body_end);
+      fn.lambdas.push_back(l);
+      // Keep scanning inside for nested lambdas, but skip the intro itself.
+    }
+  }
+
+  void find_decls(Function& fn) {
+    bool stmt_start = true;
+    for (std::size_t i = fn.body_begin + 1; i < fn.body_end; ++i) {
+      const std::string& t = toks[i].text;
+      if (t == ";" || t == "{" || t == "}") {
+        stmt_start = true;
+        continue;
+      }
+      if (!stmt_start) continue;
+      stmt_start = false;
+      if (toks[i].kind != Token::Kind::ident) continue;
+      if (stmt_keywords().count(t) > 0 || control_keywords().count(t) > 0) continue;
+      if (inside_lambda(fn, i)) continue;
+
+      // Walk a type prefix: idents / :: / <...> / & / * / const / auto.
+      std::size_t j = i;
+      std::size_t name_tok = std::string::npos;
+      bool saw_type = false;
+      while (j < fn.body_end) {
+        const Token& tk = toks[j];
+        if (tk.kind == Token::Kind::ident && control_keywords().count(tk.text) == 0 &&
+            stmt_keywords().count(tk.text) == 0) {
+          name_tok = j;
+          ++j;
+          if (j < fn.body_end && toks[j].text == "<") {
+            const std::size_t c = skip_angles(toks, j);
+            if (c != std::string::npos) {
+              j = c;
+              saw_type = true;
+              name_tok = std::string::npos;
+              continue;
+            }
+          }
+          if (j < fn.body_end &&
+              (toks[j].text == "::" || toks[j].text == "&" || toks[j].text == "&&" ||
+               toks[j].text == "*")) {
+            if (toks[j].text == "::") ++j;
+            else {
+              while (j < fn.body_end &&
+                     (toks[j].text == "&" || toks[j].text == "&&" || toks[j].text == "*")) {
+                ++j;
+              }
+              saw_type = true;
+              name_tok = std::string::npos;
+            }
+            continue;
+          }
+          if (j < fn.body_end && toks[j].kind == Token::Kind::ident) {
+            saw_type = true;  // two adjacent identifiers: type then name
+            continue;
+          }
+          break;
+        }
+        break;
+      }
+      if (name_tok == std::string::npos || j >= fn.body_end) continue;
+      const std::string& after = toks[j].text;
+      const bool auto_decl = toks[i].text == "auto" || toks[i].text == "const";
+      if (!saw_type && !auto_decl) continue;
+      if (name_tok == i) continue;  // single bare identifier
+
+      Decl d;
+      d.name = toks[name_tok].text;
+      d.name_tok = name_tok;
+      if (after == "=") {
+        d.init_begin = j + 1;
+        std::size_t k = j + 1;
+        int depth = 0;
+        while (k < fn.body_end) {
+          const std::string& tt = toks[k].text;
+          if (tt == "(" || tt == "{" || tt == "[") ++depth;
+          else if (tt == ")" || tt == "}" || tt == "]") --depth;
+          else if (tt == ";" && depth == 0) break;
+          ++k;
+        }
+        d.init_end = k;
+      } else if (after == "(" || after == "{") {
+        const std::size_t c = match_close(toks, j);
+        if (c == std::string::npos) continue;
+        d.init_begin = j + 1;
+        d.init_end = c;
+      } else if (after != ";") {
+        continue;
+      }
+
+      // Iterator-yielding initializer: <expr>.find(...) / .begin() / ...
+      // Only at brace depth 0 — a brace in an initializer opens a lambda
+      // body (or aggregate), whose inner lookups are not iterators bound to
+      // this declaration.
+      static const std::set<std::string> iter_calls = {
+          "find",  "begin", "cbegin", "rbegin", "end",   "lower_bound",
+          "upper_bound", "equal_range"};
+      // `int v = it == m.end() ? -1 : it->second;` — a top-level comparison
+      // or conditional means the declared value is a scalar, not the iterator.
+      bool scalar_init = false;
+      int pd = 0;
+      for (std::size_t k = d.init_begin; k < d.init_end; ++k) {
+        const std::string& tt = toks[k].text;
+        if (tt == "(" || tt == "{" || tt == "[") ++pd;
+        else if (tt == ")" || tt == "}" || tt == "]") --pd;
+        else if (pd == 0 && (tt == "==" || tt == "!=" || tt == "?")) {
+          scalar_init = true;
+          break;
+        }
+      }
+      if (scalar_init) {
+        fn.decls.push_back(std::move(d));
+        continue;
+      }
+      int brace = 0;
+      for (std::size_t k = d.init_begin; k + 2 < d.init_end; ++k) {
+        if (toks[k].text == "{") ++brace;
+        if (toks[k].text == "}") --brace;
+        if (brace > 0) continue;
+        if ((toks[k].text == "." || toks[k].text == "->") &&
+            toks[k + 1].kind == Token::Kind::ident && iter_calls.count(toks[k + 1].text) > 0 &&
+            toks[k + 2].text == "(") {
+          d.iterator_like = true;
+          for (std::size_t b = d.init_begin; b < k; ++b) {
+            if (toks[b].kind == Token::Kind::ident) d.container = toks[b].text;
+          }
+          break;
+        }
+      }
+      fn.decls.push_back(std::move(d));
+    }
+  }
+};
+
+}  // namespace
+
+FileModel build_model(const SourceFile& f) {
+  Parser p(f);
+  p.run();
+  return p.out;
+}
+
+}  // namespace c4h::analyze

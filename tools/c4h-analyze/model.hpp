@@ -1,0 +1,95 @@
+// c4h-analyze source model — the "recursive-descent-lite" layer.
+//
+// From the flat token stream the model pass recovers just enough structure
+// for dataflow rules to work with:
+//
+//   * functions (free, member, out-of-line) with qualified names, parameter
+//     lists (name / reference / pointer / const flags), whether the body is
+//     a coroutine (contains co_await / co_return / co_yield), and whether
+//     the declared return type mentions Task;
+//   * per-function local declarations with their initializer token ranges,
+//     plus a flag for iterator-yielding initializers (find / begin /
+//     lower_bound / ... on some container expression);
+//   * lambdas nested in a body: capture list classification (by-ref,
+//     by-value, `this`) and whether the lambda body is itself a coroutine;
+//   * co_await positions in the body (excluding nested lambda bodies, which
+//     suspend their own frame, not the enclosing one).
+//
+// The parser is deliberately heuristic: anything it cannot recognize it
+// skips, so malformed or exotic code degrades to "not analyzed" rather than
+// to a wrong answer. Rules therefore err toward false negatives, never
+// toward crashing on real input.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "tools/c4h-analyze/lexer.hpp"
+
+namespace c4h::analyze {
+
+struct Param {
+  std::string name;   // empty for unnamed parameters
+  bool is_ref = false;   // lvalue reference (&)
+  bool is_rref = false;  // rvalue reference (&&)
+  bool is_ptr = false;
+  bool is_const = false;
+};
+
+struct Lambda {
+  std::size_t intro = 0;       // token index of '['
+  std::size_t body_begin = 0;  // token index of '{' (0 = no body found)
+  std::size_t body_end = 0;    // token index of matching '}'
+  bool has_captures = false;
+  bool captures_ref = false;   // '&' default capture or '&name'
+  bool captures_this = false;
+  bool is_coroutine = false;
+  int line = 0;
+};
+
+struct Decl {
+  std::string name;
+  std::size_t name_tok = 0;        // token index of the declared name
+  std::size_t init_begin = 0;      // initializer token range [begin, end)
+  std::size_t init_end = 0;
+  bool iterator_like = false;      // initializer is <expr>.find(...) / .begin() / ...
+  std::string container;           // last identifier before the iterator call
+};
+
+struct Function {
+  std::string name;  // last component, e.g. "publish"
+  std::string qual;  // qualified, e.g. "GeoFederation::publish"
+  std::vector<Param> params;
+  bool is_coroutine = false;   // body contains co_await/co_return/co_yield
+  bool returns_task = false;   // declared return type mentions Task
+  bool has_body = false;
+  std::size_t body_begin = 0;  // token index of '{'
+  std::size_t body_end = 0;    // token index of matching '}'
+  int line = 0;
+  std::vector<Decl> decls;
+  std::vector<Lambda> lambdas;
+  std::vector<std::size_t> awaits;  // co_await token indexes (own frame only)
+};
+
+struct FileModel {
+  const SourceFile* file = nullptr;
+  std::vector<Function> fns;
+};
+
+FileModel build_model(const SourceFile& f);
+
+/// Index one past a balanced "<...>" starting at toks[i] == "<", or npos.
+std::size_t skip_angles(const std::vector<Token>& toks, std::size_t i);
+
+/// Index of the ")" / "}" matching the opener at toks[i], or npos.
+std::size_t match_close(const std::vector<Token>& toks, std::size_t i);
+
+/// Token ranges of the top-level comma-separated parts in (open, close).
+std::vector<std::pair<std::size_t, std::size_t>> split_args(
+    const std::vector<Token>& toks, std::size_t open, std::size_t close);
+
+/// Parses one parameter declaration out of [begin, end).
+Param parse_param(const std::vector<Token>& toks, std::size_t begin, std::size_t end);
+
+}  // namespace c4h::analyze

@@ -33,8 +33,8 @@
 //
 // Usage: c4h-lint [--rules=R1,R3] [--fixable] [--exclude=substr] <paths...>
 // Directory arguments are walked recursively for *.hpp/*.h/*.cpp/*.cc;
-// directories named lint_fixtures, build*, or .git are skipped (explicit
-// file arguments are always scanned).
+// directories named lint_fixtures, analyze_fixtures, build*, or .git are
+// skipped (explicit file arguments are always scanned).
 
 #include <algorithm>
 #include <cctype>
@@ -637,7 +637,8 @@ static bool source_like(const std::filesystem::path& p) {
 
 static bool skip_dir(const std::filesystem::path& p) {
   const std::string n = p.filename().string();
-  return n == ".git" || n == "lint_fixtures" || n.rfind("build", 0) == 0;
+  return n == ".git" || n == "lint_fixtures" || n == "analyze_fixtures" ||
+         n.rfind("build", 0) == 0;
 }
 
 static std::vector<std::string> expand_paths(const Options& opt) {
