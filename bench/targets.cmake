@@ -18,7 +18,8 @@ c4h_bench(fig6_fetch_throughput c4h_vstore c4h_trace)
 c4h_bench(split_processing c4h_vstore)
 c4h_bench(fig7_service_placement c4h_vstore)
 c4h_bench(fig8_dynamic_routing c4h_vstore)
-c4h_bench(ablation_design c4h_vstore c4h_trace)
+c4h_bench(ablation_design c4h_vstore c4h_workload)
+c4h_bench(ablation_choices c4h_vstore c4h_trace)
 c4h_bench(scaling_study c4h_vstore)
 c4h_bench(micro_substrate c4h_mon c4h_overlay)
 target_link_libraries(micro_substrate PRIVATE benchmark::benchmark)

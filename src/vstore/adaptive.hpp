@@ -23,26 +23,32 @@ class WanEstimator {
                         Rate initial_down = mib_per_sec(1.45))
       : alpha_(alpha), up_(initial_up), down_(initial_down) {}
 
-  void observe_upload(Bytes size, Duration took) { observe(up_, size, took); }
-  void observe_download(Bytes size, Duration took) { observe(down_, size, took); }
+  void observe_upload(Bytes size, Duration took) { observe(up_, n_up_, size, took); }
+  void observe_download(Bytes size, Duration took) { observe(down_, n_down_, size, took); }
 
   Rate upload_estimate() const { return up_; }
   Rate download_estimate() const { return down_; }
 
-  std::uint64_t observations() const { return n_; }
+  /// Accepted samples per direction. The two streams feed independent EWMAs
+  /// (an asymmetric DSL line degrades them independently), so their counts
+  /// are tracked separately too; `observations()` stays as the total.
+  std::uint64_t upload_observations() const { return n_up_; }
+  std::uint64_t download_observations() const { return n_down_; }
+  std::uint64_t observations() const { return n_up_ + n_down_; }
 
  private:
-  void observe(Rate& est, Bytes size, Duration took) {
+  void observe(Rate& est, std::uint64_t& n, Bytes size, Duration took) {
     if (took <= Duration::zero() || size == 0) return;
     const Rate sample = static_cast<double>(size) / to_seconds(took);
     est = alpha_ * sample + (1.0 - alpha_) * est;
-    ++n_;
+    ++n;
   }
 
   double alpha_;
   Rate up_;
   Rate down_;
-  std::uint64_t n_ = 0;
+  std::uint64_t n_up_ = 0;
+  std::uint64_t n_down_ = 0;
 };
 
 /// Builds the storage policy for the *current* network conditions: objects

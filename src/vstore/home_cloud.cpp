@@ -125,6 +125,7 @@ void HomeCloud::bootstrap() {
   // per-home registry would misattribute the other homes' traffic.
   kv_->set_metrics(&metrics_);
   if (hood_ == nullptr) net_->set_metrics(&metrics_);
+  placement_engine_.register_metrics(metrics_);
 
   for (std::size_t i = 0; i < hosts_.size(); ++i) {
     const HomeNodeSpec& spec = pending_specs_[i];

@@ -28,6 +28,7 @@
 #include "src/sim/simulation.hpp"
 #include "src/vmm/machine.hpp"
 #include "src/vstore/adaptive.hpp"
+#include "src/vstore/placement_engine.hpp"
 #include "src/vstore/vstore.hpp"
 
 namespace c4h::vstore {
@@ -74,6 +75,10 @@ struct HomeCloudConfig {
   /// fractions of a second on the paper's Atom-class hardware; this is what
   /// keeps tiny inputs cheapest at the requester (Fig 7's small-image case).
   Duration remote_dispatch = milliseconds(350);
+
+  /// Online adaptive placement (DecisionPolicy::learned): bandit
+  /// exploration, prior blending, hysteresis, and the store-veto budget.
+  PlacementEngineConfig placement;
 
   /// Name prefix for this home's devices (distinguishes homes in a
   /// neighborhood; node names feed the 40-bit overlay ids).
@@ -163,6 +168,11 @@ class HomeCloud {
   /// interaction; drives AdaptiveStoragePolicy (future work (iv)).
   WanEstimator& wan_estimator() { return wan_estimator_; }
 
+  /// Online adaptive placement engine backing DecisionPolicy::learned
+  /// (bandit + WAN-repriced cost model + hysteresis). Counters are
+  /// registered on metrics() at construction.
+  PlacementEngine& placement_engine() { return placement_engine_; }
+
   /// Changes the WAN's nominal rates mid-run (brown-outs, congestion);
   /// in-flight transfers adjust immediately.
   void set_wan_rates(Rate up, Rate down) {
@@ -215,6 +225,15 @@ class HomeCloud {
   net::LinkId wan_up_link_ = 0;
   net::LinkId wan_down_link_ = 0;
   WanEstimator wan_estimator_;
+  // Engine seed is mixed from the deployment seed so `--seed` varies the
+  // exploration stream; never forked from the sim Rng (that would shift
+  // every downstream stream and move existing golden histories).
+  static PlacementEngineConfig seeded_placement(const HomeCloudConfig& c) {
+    PlacementEngineConfig p = c.placement;
+    p.seed ^= c.seed * 0x2545F4914F6CDD1DULL;
+    return p;
+  }
+  PlacementEngine placement_engine_{seeded_placement(config_), wan_estimator_};
 
   std::vector<std::unique_ptr<vmm::Host>> hosts_;
   std::vector<HomeNodeSpec> pending_specs_;

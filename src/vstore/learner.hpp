@@ -12,6 +12,7 @@
 // mis-calibrated profiles).
 #pragma once
 
+#include <algorithm>
 #include <map>
 #include <optional>
 #include <string>
@@ -29,6 +30,13 @@ class PlacementLearner {
   struct Config {
     double epsilon = 0.15;      // exploration probability
     int min_pulls_per_arm = 1;  // try every arm at least this often first
+    // Recency floor on the mean update gain: the step size is
+    // max(1/pulls, min_gain), i.e. a plain running mean for the first
+    // 1/min_gain pulls and a constant-step EWMA afterwards. A pure running
+    // mean never recovers from a mid-run reward shift (old samples dominate
+    // forever); the floor bounds how long a degraded site keeps its stale
+    // reputation. 0 restores the pure running mean.
+    double min_gain = 0.1;
   };
 
   PlacementLearner() : PlacementLearner(Config{}) {}
@@ -52,7 +60,9 @@ class PlacementLearner {
     auto& arms = table_[context];
     // Any candidate below the pull floor gets tried next (round-robin-ish).
     for (const auto& c : candidates) {
-      if (arms[arm_key(c)].pulls < config_.min_pulls_per_arm) return c;
+      if (arms[arm_key(c)].pulls < static_cast<std::uint64_t>(config_.min_pulls_per_arm)) {
+        return c;
+      }
     }
     if (rng_.chance(config_.epsilon)) {
       return candidates[rng_.below(candidates.size())];
@@ -74,7 +84,8 @@ class PlacementLearner {
     Arm& a = table_[context][arm_key(site)];
     ++a.pulls;
     const double x = to_seconds(total);
-    a.mean_seconds += (x - a.mean_seconds) / static_cast<double>(a.pulls);
+    const double gain = std::max(1.0 / static_cast<double>(a.pulls), config_.min_gain);
+    a.mean_seconds += gain * (x - a.mean_seconds);
   }
 
   /// Observed pulls of an arm (diagnostics / tests).

@@ -1,0 +1,135 @@
+#include "src/vstore/placement_engine.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace c4h::vstore {
+
+PlacementEngine::PlacementEngine(PlacementEngineConfig config, const WanEstimator& wan)
+    : config_(config),
+      wan_(&wan),
+      learner_(PlacementLearner::Config{.epsilon = config.epsilon,
+                                        .min_pulls_per_arm = config.min_pulls_per_arm,
+                                        .min_gain = config.min_gain},
+               config.seed),
+      rng_(config.seed ^ 0x517cc1b727220a95ULL) {}
+
+void PlacementEngine::register_metrics(obs::Registry& reg) {
+  decisions_counter_ = &reg.counter("c4h.placement.decision.count");
+  switches_counter_ = &reg.counter("c4h.placement.switch.count");
+  explorations_counter_ = &reg.counter("c4h.placement.explore.count");
+  store_vetoes_counter_ = &reg.counter("c4h.placement.store_veto.count");
+  regret_us_counter_ = &reg.counter("c4h.placement.regret.us");
+  // Re-registering against a fresh registry must not replay history.
+  decisions_counter_->add(decisions_);
+  switches_counter_->add(switches_);
+  explorations_counter_->add(explorations_);
+  store_vetoes_counter_->add(store_vetoes_);
+  regret_us_counter_->add(static_cast<std::uint64_t>(regret_seconds_ * 1e6));
+}
+
+double PlacementEngine::prior_seconds(const CandidateInfo& c) const {
+  double move = 0.0;
+  if (c.move_over_wan && c.move_bytes > 0) {
+    // Re-price the WAN leg at the estimator's current belief instead of the
+    // configured link rate baked into move_in.
+    const Rate rate =
+        std::max(c.move_upload ? wan_->upload_estimate() : wan_->download_estimate(), 1.0);
+    move = static_cast<double>(c.move_bytes) / rate + to_seconds(c.dispatch);
+  } else {
+    move = to_seconds(c.move_in);
+  }
+  return move + to_seconds(c.exec_estimate);
+}
+
+double PlacementEngine::predicted_seconds(const std::string& context,
+                                          const CandidateInfo& c) const {
+  const double prior = prior_seconds(c);
+  const auto n = static_cast<double>(learner_.pulls(context, c.site));
+  if (n == 0.0) return prior;
+  const double mean = learner_.mean_seconds(context, c.site);
+  return (prior * config_.prior_weight + mean * n) / (config_.prior_weight + n);
+}
+
+ExecSite PlacementEngine::choose(const std::string& context,
+                                 const std::vector<CandidateInfo>& candidates, TimePoint now) {
+  ++decisions_;
+  count(decisions_counter_);
+  ContextState& st = state_[context];
+
+  // Rank every candidate by blended prediction (stable: first best wins).
+  std::size_t best = 0;
+  double best_predicted = predicted_seconds(context, candidates.front());
+  for (std::size_t i = 1; i < candidates.size(); ++i) {
+    const double p = predicted_seconds(context, candidates[i]);
+    if (p < best_predicted) {
+      best = i;
+      best_predicted = p;
+    }
+  }
+  // Regret baseline for the next observation in this context.
+  st.last_best_predicted = best_predicted;
+  st.has_prediction = true;
+
+  // Warm-up: any arm below the pull floor gets tried before exploitation.
+  for (const auto& c : candidates) {
+    if (learner_.pulls(context, c.site) <
+        static_cast<std::uint64_t>(config_.min_pulls_per_arm)) {
+      ++explorations_;
+      count(explorations_counter_);
+      return c.site;
+    }
+  }
+
+  // ε-exploration. Does not touch the incumbent: a forced detour is not a
+  // decision to move, so it neither resets dwell nor counts as a switch.
+  if (rng_.chance(config_.epsilon)) {
+    ++explorations_;
+    count(explorations_counter_);
+    return candidates[rng_.below(candidates.size())].site;
+  }
+
+  // Exploit, with hysteresis against the incumbent.
+  const ExecSite& challenger = candidates[best].site;
+  if (st.incumbent.has_value()) {
+    const auto held = std::find_if(candidates.begin(), candidates.end(),
+                                   [&](const CandidateInfo& c) { return c.site == *st.incumbent; });
+    if (held != candidates.end()) {
+      if (challenger == *st.incumbent) return *st.incumbent;
+      const double incumbent_predicted = predicted_seconds(context, *held);
+      const bool dwell_elapsed = now - st.incumbent_since >= config_.min_dwell;
+      const bool margin_exceeded =
+          best_predicted < incumbent_predicted * (1.0 - config_.improvement_margin);
+      if (!dwell_elapsed || !margin_exceeded) return *st.incumbent;
+      ++switches_;
+      count(switches_counter_);
+      st.incumbent = challenger;
+      st.incumbent_since = now;
+      return challenger;
+    }
+    // Incumbent left the candidate set (offline / descheduled): forced
+    // re-pick, not hysteresis thrash — fall through without a switch count.
+  }
+  st.incumbent = challenger;
+  st.incumbent_since = now;
+  return challenger;
+}
+
+void PlacementEngine::observe(const std::string& context, const ExecSite& site,
+                              Duration observed) {
+  learner_.observe(context, site, observed);
+  const auto st = state_.find(context);
+  if (st == state_.end() || !st->second.has_prediction) return;
+  const double regret = std::max(0.0, to_seconds(observed) - st->second.last_best_predicted);
+  regret_seconds_ += regret;
+  count(regret_us_counter_, static_cast<std::uint64_t>(regret * 1e6));
+}
+
+bool PlacementEngine::veto_cloud_store(Bytes size) {
+  if (size <= cloud_threshold()) return false;
+  ++store_vetoes_;
+  count(store_vetoes_counter_);
+  return true;
+}
+
+}  // namespace c4h::vstore

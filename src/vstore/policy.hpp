@@ -93,6 +93,7 @@ enum class DecisionPolicy : std::uint8_t {
   performance,           // minimize locate + movement + execution time
   balanced_utilization,  // spread load across nodes
   battery_aware,         // spare low-battery portable devices
+  learned,               // online PlacementEngine (bandit + cost model)
 };
 
 /// A possible execution/storage site.
@@ -114,6 +115,14 @@ struct CandidateInfo {
   double cpu_load = 0;
   double battery = 1.0;
   bool battery_powered = false;
+  // WAN decomposition of the move leg, for cost models that re-price it at
+  // the *currently estimated* WAN rate instead of the configured one
+  // (PlacementEngine). `move_in` already includes a move estimate priced at
+  // configured rates; these fields let the engine redo that pricing.
+  Bytes move_bytes = 0;       // bytes the move leg transfers (0 = data local)
+  bool move_over_wan = false; // the move leg crosses the WAN link
+  bool move_upload = false;   // WAN direction: true = home→cloud upload
+  Duration dispatch{};        // fixed dispatch overhead added to the move leg
 };
 
 /// Pure selection function (unit-testable): picks a candidate index.
@@ -146,6 +155,11 @@ inline std::size_t choose_candidate(DecisionPolicy policy,
         better = score(a) < score(b);
         break;
       }
+      case DecisionPolicy::learned:
+        // The online engine owns this policy (PlacementEngine::choose); as a
+        // pure-function fallback, behave like `performance`.
+        better = total(a) < total(b);
+        break;
     }
     if (better) best = i;
   }

@@ -1,6 +1,7 @@
 #include "src/vstore/vstore.hpp"
 
 #include "src/vstore/home_cloud.hpp"
+#include "src/vstore/learner.hpp"
 
 namespace c4h::vstore {
 
@@ -88,6 +89,12 @@ sim::Task<Result<ObjectLocation>> VStoreNode::place_object(const ObjectMeta& met
   obs::ScopedSpan sp(ctx, "vstore.place");
   const TimePoint d0 = sim.now();
   StoreTarget target = opts.policy.target_for(meta);
+  if (opts.decision == DecisionPolicy::learned && target == StoreTarget::remote_cloud &&
+      cloud_.placement_engine().veto_cloud_store(meta.size)) {
+    // The engine predicts this upload would blow the latency budget at the
+    // currently observed WAN rate: keep the object home instead.
+    target = StoreTarget::local;
+  }
   if (target == StoreTarget::local && fs_.mandatory_free() < meta.size) {
     // "In cases where the mandatory bin is full ... the data is stored
     // elsewhere, either in the voluntary resources available on other nodes
@@ -511,6 +518,12 @@ sim::Task<Result<ProcessOutcome>> VStoreNode::process_pipeline(
     ci.site = ExecSite{ExecSite::Kind::home_node, node_key};
     ci.move_in = cloud_.estimate_move(owner_site, ci.site, size);
     if (node_key != chimera_.id()) ci.move_in += cloud_.config().remote_dispatch;
+    // WAN decomposition for the learned engine: a home site pulls the
+    // argument down from S3 when the owner is the cloud.
+    ci.move_bytes = ci.site == owner_site ? 0 : size;
+    ci.move_over_wan = rec->location.is_cloud();
+    ci.move_upload = false;
+    if (node_key != chimera_.id()) ci.dispatch = cloud_.config().remote_dispatch;
     const double load = rrec.ok() ? rrec->cpu_load : 0.0;
     double est = 0;
     for (const auto& stage : stages) {
@@ -542,6 +555,12 @@ sim::Task<Result<ProcessOutcome>> VStoreNode::process_pipeline(
     ci.site = ExecSite{ExecSite::Kind::ec2, {}};
     ci.move_in = cloud_.estimate_move(owner_site, ci.site, size) +
                  cloud_.config().remote_dispatch;
+    // WAN decomposition: a home-owned argument is uploaded over the WAN;
+    // a cloud-owned one moves S3→EC2 intra-cloud.
+    ci.move_bytes = rec->location.is_cloud() ? 0 : size;
+    ci.move_over_wan = !rec->location.is_cloud();
+    ci.move_upload = true;
+    ci.dispatch = cloud_.config().remote_dispatch;
     double est = 0;
     for (const auto& stage : stages) {
       est += to_seconds(stage.estimate(cloud_.ec2().domain(), size));
@@ -556,7 +575,18 @@ sim::Task<Result<ProcessOutcome>> VStoreNode::process_pipeline(
     co_return Error{Errc::unavailable,
                     "pipeline deployed nowhere reachable: " + stages.front().name};
   }
-  const ExecSite site = cands[choose_candidate(policy, cands)].site;
+  ExecSite site;
+  std::string learn_ctx;
+  if (policy == DecisionPolicy::learned) {
+    // Candidate costs are requester-relative (the dispatch overhead lands on
+    // every site but this node), so the requester is part of the context —
+    // otherwise one context's incumbent pins a site that is remote for every
+    // other requester of the same (service, size) pair.
+    learn_ctx = PlacementLearner::context_of(stages.front(), size) + "@" + chimera_.id().to_string();
+    site = cloud_.placement_engine().choose(learn_ctx, cands, sim.now());
+  } else {
+    site = cands[choose_candidate(policy, cands)].site;
+  }
   out.decision = sim.now() - d0;
   out.site = site;
   dsp.attr("candidates", static_cast<std::uint64_t>(cands.size()));
@@ -566,6 +596,12 @@ sim::Task<Result<ProcessOutcome>> VStoreNode::process_pipeline(
   if (!ran.ok()) {
     sp.set_error(ran.error().message);
     co_return ran.error();
+  }
+  if (policy == DecisionPolicy::learned) {
+    // Feedback: only the site-attributable phases (the per-phase span
+    // breakdown minus lookup/decision overhead no site choice can change).
+    cloud_.placement_engine().observe(learn_ctx, site,
+                                      out.move + out.exec + out.result_return);
   }
   co_return out;
 }

@@ -69,17 +69,39 @@ TEST(WanEstimator, ConvergesToObservedRate) {
     est.observe_upload(2_MB, from_seconds(to_mib(2_MB) / 0.25));  // 0.25 MiB/s observed
   }
   EXPECT_NEAR(to_mib_per_sec(est.upload_estimate()), 0.25, 0.02);
+  // Uploads-only traffic must not inflate the download stream's count: the
+  // two directions track independent EWMAs AND independent sample counts.
+  EXPECT_EQ(est.upload_observations(), 30u);
+  EXPECT_EQ(est.download_observations(), 0u);
   EXPECT_EQ(est.observations(), 30u);
   // Download estimate untouched.
   EXPECT_NEAR(to_mib_per_sec(est.download_estimate()), 1.45, 1e-9);
 }
 
+TEST(WanEstimator, CountsDirectionsIndependently) {
+  WanEstimator est;
+  est.observe_upload(1_MB, seconds(1));
+  est.observe_download(1_MB, seconds(1));
+  est.observe_download(2_MB, seconds(1));
+  EXPECT_EQ(est.upload_observations(), 1u);
+  EXPECT_EQ(est.download_observations(), 2u);
+  EXPECT_EQ(est.observations(), 3u);
+}
+
 TEST(WanEstimator, IgnoresDegenerateSamples) {
   WanEstimator est;
-  const Rate before = est.upload_estimate();
+  const Rate up_before = est.upload_estimate();
+  const Rate down_before = est.download_estimate();
+  // Zero-byte and zero-duration transfers carry no rate information; both
+  // directions must drop them from estimate AND count.
   est.observe_upload(0, seconds(1));
   est.observe_upload(1_MB, Duration::zero());
-  EXPECT_EQ(est.upload_estimate(), before);
+  est.observe_download(0, seconds(1));
+  est.observe_download(1_MB, Duration::zero());
+  EXPECT_EQ(est.upload_estimate(), up_before);
+  EXPECT_EQ(est.download_estimate(), down_before);
+  EXPECT_EQ(est.upload_observations(), 0u);
+  EXPECT_EQ(est.download_observations(), 0u);
   EXPECT_EQ(est.observations(), 0u);
 }
 

@@ -420,6 +420,208 @@ TEST_P(WorkloadChaosSoak, NoAckedWriteLostUnderChurnAndFlaps) {
 INSTANTIATE_TEST_SUITE_P(Seeds, WorkloadChaosSoak, ::testing::Values(8101, 8102, 8103));
 
 // ---------------------------------------------------------------------------
+// Adaptive-placement soak: the learned decision policy (PlacementEngine)
+// driven through the same churn + uplink-flap fault plan. Two invariants on
+// top of the usual no-lost-acked-writes one:
+//   - the engine actually decides (its counters move) and never loses an
+//     acknowledged write while exploring under faults;
+//   - after the faults settle and the uplink is parked degraded, cloud-bound
+//     stores re-converge home within a bounded number of observations, with
+//     the adaptive cloud threshold strictly shrunk below the object size.
+
+workload::WorkloadSpec adaptive_soak_spec(std::uint64_t seed) {
+  workload::WorkloadSpec spec = soak_spec(seed);
+  for (auto& t : spec.tenants) t.decision = DecisionPolicy::learned;
+
+  // A service tenant so the engine's choose/observe path (not just the
+  // store-veto path) runs under churn.
+  workload::TenantSpec vision;
+  vision.name = "vision";
+  vision.principal = {"vision", TrustLevel::trusted};
+  vision.acl.allow("*", {Right::read});
+  vision.decision = DecisionPolicy::learned;
+  vision.mix = {0.4, 0.1, 0.3, 0.2};
+  vision.object_count = 12;
+  vision.size = {128_KB, 512_KB};
+  vision.service = thumb_profile();
+  vision.arrival.rate_per_sec = 3.0;
+  spec.tenants.push_back(vision);
+  return spec;
+}
+
+struct AdaptiveChaosResult {
+  std::size_t acked = 0;
+  int lost = 0;
+  std::string lost_detail;
+  std::uint64_t issued = 0;
+  std::uint64_t crashes = 0;
+  std::uint64_t flaps = 0;
+  bool all_online = false;
+  std::uint64_t decisions = 0;
+  std::uint64_t explorations = 0;
+  // Post-flap epilogue: cloud threshold before/after the parked brown-out,
+  // and how many stores the engine needed before one stayed home.
+  Bytes threshold_before = 0;
+  Bytes threshold_after = 0;
+  int stores_until_home = -1;
+};
+
+AdaptiveChaosResult run_adaptive_chaos(std::uint64_t seed) {
+  HomeCloudConfig cfg;
+  cfg.netbooks = 5;
+  cfg.kv.replication = 2;
+  cfg.kv.ack_replication = true;
+  cfg.start_stabilization = true;
+  cfg.start_monitors = false;
+  cfg.seed = seed;
+  // A tight upload budget so the veto knob reacts to ~MiB-scale objects.
+  cfg.placement.upload_budget = seconds(2);
+  HomeCloud hc{cfg};
+  hc.bootstrap();
+
+  const auto prof = thumb_profile();
+  hc.registry().add_profile(prof);
+  hc.node(1).deploy_service(prof);
+  hc.node(2).deploy_service(prof);
+
+  sim::FaultSpec spec;
+  spec.msg_drop = 0.08;
+  spec.msg_delay = 0.05;
+  spec.mean_crash_interval = seconds(8);
+  spec.mean_downtime = seconds(3);
+  spec.mean_flap_interval = seconds(10);
+  spec.mean_flap_duration = seconds(2);
+  spec.horizon = seconds(35);
+  sim::FaultPlan& plan = hc.enable_chaos(spec);
+
+  workload::Driver driver{hc, adaptive_soak_spec(seed)};
+  AdaptiveChaosResult out;
+
+  hc.run([](HomeCloud& h, workload::Driver& d, sim::FaultPlan& fp, std::uint64_t sd,
+            AdaptiveChaosResult& r) -> Task<> {
+    auto& sim = h.sim();
+    (void)co_await h.node(1).publish_services();
+    (void)co_await h.node(2).publish_services();
+    const workload::Schedule schedule = workload::generate(adaptive_soak_spec(sd));
+    co_await d.drive(schedule);
+
+    while (sim.now() < fp.deadline()) co_await sim.delay(seconds(1));
+    for (int i = 0; i < 60; ++i) {
+      bool all = true;
+      for (std::size_t j = 0; j < h.node_count(); ++j) {
+        if (!h.node(j).online()) all = false;
+      }
+      if (all) break;
+      co_await sim.delay(seconds(1));
+    }
+    fp.disarm();
+    co_await sim.delay(seconds(5));
+
+    r.all_online = true;
+    for (std::size_t j = 0; j < h.node_count(); ++j) {
+      if (!h.node(j).online()) r.all_online = false;
+    }
+
+    VStoreNode* reader = nullptr;
+    for (std::size_t j = 0; j < h.node_count(); ++j) {
+      if (h.node(j).online()) {
+        reader = &h.node(j);
+        break;
+      }
+    }
+    if (reader == nullptr) co_return;
+    for (const auto& [name, size] : d.result().acked) {
+      auto fetched = co_await reader->fetch_object(name);
+      if (!fetched.ok()) {
+        ++r.lost;
+        r.lost_detail += name + ": " + std::string(to_string(fetched.code())) + "; ";
+      } else if (fetched->size != size) {
+        ++r.lost;
+        r.lost_detail += name + ": wrong size; ";
+      }
+    }
+    r.acked = d.result().acked.size();
+
+    // ---- Post-flap re-convergence epilogue (deterministic) ----
+    StoragePolicy cloud_policy;
+    StoreRule to_cloud;
+    to_cloud.target = StoreTarget::remote_cloud;
+    cloud_policy.rules = {to_cloud};
+
+    auto store_one = [&](const std::string& name, DecisionPolicy dec) -> Task<bool> {
+      auto m = chaos_meta(name, 1_MB);
+      (void)co_await h.desktop().create_object(m);
+      StoreOptions opts;
+      opts.policy = cloud_policy;
+      opts.decision = dec;
+      auto s = co_await h.desktop().store_object(name, opts);
+      co_return s.ok() && s->location.is_cloud();
+    };
+
+    // Heal: restore a fast WAN and let a few uploads pull the EWMA back up,
+    // so the epilogue starts from a cloud-friendly threshold regardless of
+    // what the flap phase did to the estimate. (The observed rate sits well
+    // under the nominal link rate — latency and dispatch overhead are part
+    // of each sample — hence the generous 4 MiB/s.)
+    h.set_wan_rates(mib_per_sec(4.0), mib_per_sec(4.0));
+    for (int i = 0; i < 10; ++i) {
+      (void)co_await store_one("heal/" + std::to_string(i), DecisionPolicy::performance);
+      if (h.placement_engine().cloud_threshold() > 1_MB + 512_KB) break;
+    }
+    r.threshold_before = h.placement_engine().cloud_threshold();
+
+    // Brown-out: park the uplink degraded. Each cloud store is now a painful
+    // lesson; the engine must veto (store lands home) within a handful of
+    // observations as the threshold collapses below the object size.
+    h.set_wan_rates(mib_per_sec(0.05), mib_per_sec(0.1));
+    for (int i = 0; i < 12; ++i) {
+      const bool cloud = co_await store_one("post/" + std::to_string(i), DecisionPolicy::learned);
+      if (!cloud) {
+        r.stores_until_home = i + 1;
+        break;
+      }
+    }
+    r.threshold_after = h.placement_engine().cloud_threshold();
+  }(hc, driver, plan, seed, out));
+
+  out.issued = driver.result().issued();
+  out.crashes = plan.stats().crashes;
+  out.flaps = plan.stats().uplink_flaps;
+  out.decisions = hc.placement_engine().decisions();
+  out.explorations = hc.placement_engine().explorations();
+  return out;
+}
+
+class AdaptiveChaosSoak : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(AdaptiveChaosSoak, LearnedPolicySurvivesFlapsAndReconvergesHome) {
+  const std::uint64_t seed = GetParam();
+  const AdaptiveChaosResult r = run_adaptive_chaos(seed);
+
+  // The run exercised the workload, the fault layer, AND the engine.
+  EXPECT_GT(r.issued, 50u) << "seed " << seed;
+  EXPECT_GT(r.acked, 10u) << "seed " << seed;
+  EXPECT_GT(r.crashes + r.flaps, 0u) << "seed " << seed;
+  EXPECT_GT(r.decisions, 0u) << "seed " << seed << ": learned path never decided";
+
+  EXPECT_TRUE(r.all_online) << "seed " << seed << ": a crashed node never restarted";
+  EXPECT_EQ(r.lost, 0) << "seed " << seed << ": acknowledged store lost [" << r.lost_detail
+                       << "]";
+
+  // Re-convergence: the parked brown-out must flip placement home within a
+  // bounded number of observed uploads (EWMA alpha 0.3 needs ~5 lessons to
+  // drag a healed ~2 MiB/s estimate under the 0.5 MiB/s veto point for 1 MB
+  // at a 2 s budget), with the threshold strictly shrunk below the object.
+  EXPECT_GE(r.threshold_before, 1_MB) << "seed " << seed << ": epilogue started veto-bound";
+  ASSERT_NE(r.stores_until_home, -1) << "seed " << seed << ": never re-converged home";
+  EXPECT_LE(r.stores_until_home, 8) << "seed " << seed;
+  EXPECT_LT(r.threshold_after, 1_MB) << "seed " << seed;
+  EXPECT_LT(r.threshold_after, r.threshold_before) << "seed " << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AdaptiveChaosSoak, ::testing::Values(9101, 9102, 9103));
+
+// ---------------------------------------------------------------------------
 // Federation soak: a City (3 neighborhoods × 2 homes × 3 nodes) under
 // crash/restart churn, with published objects replicated at degree 2 across
 // neighborhoods and a periodic repair sweep. The reachability invariant:

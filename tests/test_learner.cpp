@@ -72,6 +72,149 @@ TEST(Learner, ContextsAreIndependent) {
   EXPECT_EQ(l.contexts(), 2u);
 }
 
+// --- Statistics-grade properties (ROADMAP item 4) ---------------------------
+//
+// The bandit's guarantees are distributional, so these run the same
+// experiment across many seeds and check the aggregate against binomial
+// confidence bounds. Every bound below is ≥5 standard deviations wide at the
+// stated trial counts: a legitimate implementation essentially never trips
+// it, a regression in exploration or convergence essentially always does.
+
+TEST(LearnerStats, ConvergesToTrulyBestArmAcrossSeeds) {
+  // Three arms with large gaps (1s / 3s / 5s). After convergence an ε-greedy
+  // learner picks the best arm with probability 1 - ε·(k-1)/k ≈ 0.933.
+  const ExecSite fast = home_site(Key{1});
+  const ExecSite mid = home_site(Key{2});
+  const ExecSite slow = home_site(Key{3});
+  const std::vector<ExecSite> cands{slow, mid, fast};
+  auto reward = [&](const ExecSite& s) {
+    return s == fast ? seconds(1) : (s == mid ? seconds(3) : seconds(5));
+  };
+
+  int total_tail_fast = 0;
+  constexpr int kSeeds = 50;
+  constexpr int kPulls = 500;
+  constexpr int kTail = 200;  // converged window: the final kTail pulls
+  for (std::uint64_t seed = 1; seed <= kSeeds; ++seed) {
+    PlacementLearner::Config cfg;
+    cfg.epsilon = 0.1;
+    PlacementLearner l{cfg, seed};
+    int tail_fast = 0;
+    for (int i = 0; i < kPulls; ++i) {
+      const auto c = l.choose("ctx", cands);
+      if (i >= kPulls - kTail && c == fast) ++tail_fast;
+      l.observe("ctx", c, reward(c));
+    }
+    // Per-seed: convergence must hold for every seed, not just on average.
+    EXPECT_GE(tail_fast, kTail * 8 / 10) << "seed " << seed;
+    total_tail_fast += tail_fast;
+  }
+  // Aggregate over 50×200 = 10000 converged pulls: expected fast share
+  // 0.933, binomial σ ≈ 0.0025 → [0.90, 0.97] is > 10σ wide.
+  const double share = static_cast<double>(total_tail_fast) / (kSeeds * kTail);
+  EXPECT_GT(share, 0.90);
+  EXPECT_LT(share, 0.97);
+}
+
+TEST(LearnerStats, ExplorationRateMatchesEpsilon) {
+  // With two well-separated arms, a converged ε-greedy learner picks the
+  // worse arm only on exploration coin-flips that land there: rate ε/2.
+  const ExecSite good = home_site(Key{1});
+  const ExecSite bad = home_site(Key{2});
+  const std::vector<ExecSite> cands{good, bad};
+
+  constexpr double kEpsilon = 0.15;
+  constexpr int kSeeds = 50;
+  constexpr int kBurnIn = 50;
+  constexpr int kMeasured = 400;
+  int bad_picks = 0;
+  for (std::uint64_t seed = 1; seed <= kSeeds; ++seed) {
+    PlacementLearner::Config cfg;
+    cfg.epsilon = kEpsilon;
+    PlacementLearner l{cfg, seed};
+    for (int i = 0; i < kBurnIn + kMeasured; ++i) {
+      const auto c = l.choose("ctx", cands);
+      if (i >= kBurnIn && c == bad) ++bad_picks;
+      l.observe("ctx", c, c == good ? seconds(1) : seconds(9));
+    }
+  }
+  // 20000 measured pulls, expected bad-arm rate ε/2 = 0.075,
+  // σ = sqrt(0.075·0.925/20000) ≈ 0.0019 → [0.065, 0.085] is ±5σ.
+  const double rate = static_cast<double>(bad_picks) / (kSeeds * kMeasured);
+  EXPECT_GT(rate, 0.065);
+  EXPECT_LT(rate, 0.085);
+}
+
+TEST(LearnerStats, RecoversFromMidRunRewardShift) {
+  // A starts fast and degrades; B starts slow and becomes fast. A pure
+  // running mean never lets go of A (old samples dominate forever); the
+  // min_gain recency floor bounds the stale reputation: A's tracked mean
+  // crosses B's stale 5s within ~7 post-shift pulls of A.
+  const ExecSite a = home_site(Key{1});
+  const ExecSite b = home_site(Key{2});
+  const std::vector<ExecSite> cands{a, b};
+
+  constexpr int kSeeds = 50;
+  constexpr int kPreShift = 200;
+  constexpr int kPostShift = 300;
+  constexpr int kTail = 100;
+  for (std::uint64_t seed = 1; seed <= kSeeds; ++seed) {
+    PlacementLearner::Config cfg;
+    cfg.epsilon = 0.1;
+    PlacementLearner l{cfg, seed};
+    int tail_b = 0;
+    for (int i = 0; i < kPreShift + kPostShift; ++i) {
+      const bool shifted = i >= kPreShift;
+      const auto c = l.choose("ctx", cands);
+      Duration took;
+      if (c == a) {
+        took = shifted ? seconds(9) : seconds(1);
+      } else {
+        took = shifted ? seconds(1) : seconds(5);
+      }
+      if (i >= kPreShift + kPostShift - kTail && c == b) ++tail_b;
+      l.observe("ctx", c, took);
+    }
+    EXPECT_GE(tail_b, kTail * 7 / 10) << "seed " << seed;
+    EXPECT_LT(l.mean_seconds("ctx", b), l.mean_seconds("ctx", a)) << "seed " << seed;
+  }
+}
+
+TEST(LearnerStats, ReferenceSeedIsPinned) {
+  // One reference seed, fully pinned: the exact pull counts and near-exact
+  // means. Any change to the Rng stream, the arm-selection order, or the
+  // update rule moves these values — bump them only with a changelog entry
+  // explaining why the learner's behavior was *meant* to change.
+  const ExecSite fast = home_site(Key{1});
+  const ExecSite slow = home_site(Key{2});
+  const std::vector<ExecSite> cands{fast, slow};
+  PlacementLearner::Config cfg;
+  cfg.epsilon = 0.1;
+  PlacementLearner l{cfg, 1234};
+  for (int i = 0; i < 100; ++i) {
+    const auto c = l.choose("ctx", cands);
+    l.observe("ctx", c, c == fast ? seconds(1) : seconds(5));
+  }
+  EXPECT_EQ(l.pulls("ctx", fast) + l.pulls("ctx", slow), 100u);
+  EXPECT_EQ(l.pulls("ctx", fast), 94u);
+  EXPECT_EQ(l.pulls("ctx", slow), 6u);
+  EXPECT_NEAR(l.mean_seconds("ctx", fast), 1.0, 1e-9);
+  EXPECT_NEAR(l.mean_seconds("ctx", slow), 5.0, 1e-9);
+}
+
+TEST(LearnerStats, ZeroMinGainRestoresRunningMean) {
+  // With the floor off, observe() is the textbook incremental mean.
+  PlacementLearner::Config cfg;
+  cfg.min_gain = 0.0;
+  PlacementLearner l{cfg, 5};
+  const ExecSite s = home_site(Key{1});
+  l.observe("ctx", s, seconds(2));
+  l.observe("ctx", s, seconds(4));
+  l.observe("ctx", s, seconds(9));
+  EXPECT_NEAR(l.mean_seconds("ctx", s), 5.0, 1e-9);
+  EXPECT_EQ(l.pulls("ctx", s), 3u);
+}
+
 TEST(LearnerEndToEnd, OutlearnsStaleResourceRecords) {
   // The desktop is secretly saturated by a non-VStore workload and the
   // monitors are off, so resource records are stale-idle: the decision

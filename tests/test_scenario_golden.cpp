@@ -18,9 +18,11 @@
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <map>
 #include <set>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "src/obs/json.hpp"
 
@@ -154,6 +156,99 @@ TEST(ScenarioGolden, FederationSameSeedByteIdenticalWithPerPathTails) {
     EXPECT_TRUE(count_labels.contains(path)) << "missing fetch-count row: " << path;
     EXPECT_TRUE(tail_labels.contains(path)) << "missing tail rows: " << path;
   }
+}
+
+// The ablation artifact is the headline deliverable of the placement-engine
+// work: on top of byte-identity and schema validity it must *prove* the
+// acceptance claim — learned within 5% of the best static policy's p99 on
+// every steady scenario, strictly better than every static policy on the
+// uplink-flap scenario — and carry the learned-only counter and regret-series
+// rows the bench promises.
+TEST(ScenarioGolden, AblationSameSeedByteIdenticalAndLearnedMeetsAcceptance) {
+  const std::string artifact = "BENCH_ablation_design.json";
+  const std::string a = run_bench_in(C4H_ABLATION_BIN, artifact, scratch("abl_a"));
+  const std::string b = run_bench_in(C4H_ABLATION_BIN, artifact, scratch("abl_b"));
+  ASSERT_FALSE(a.empty());
+  EXPECT_EQ(a, b) << "same-seed ablation runs must emit byte-identical artifacts";
+  expect_matches_golden(a, artifact);
+
+  const auto parsed = c4h::obs::json_parse(a);
+  ASSERT_TRUE(parsed.ok()) << parsed.error().message;
+  const c4h::obs::JsonValue& root = *parsed;
+  const auto* schema = root.find("schema");
+  ASSERT_NE(schema, nullptr);
+  EXPECT_EQ(schema->str, "c4h-bench-v1");
+  const auto* bench = root.find("bench");
+  ASSERT_NE(bench, nullptr);
+  EXPECT_EQ(bench->str, "ablation_design");
+
+  const auto* series = root.find("series");
+  ASSERT_NE(series, nullptr);
+  ASSERT_FALSE(series->items.empty());
+
+  // label → metric → value (labels are "<scenario>/<policy>" plus the
+  // learned regret-series labels "<scenario>/learned/t=<i>of12").
+  std::map<std::string, std::map<std::string, double>> cells;
+  for (const auto& row : series->items) {
+    const auto* label = row.find("label");
+    const auto* metric = row.find("metric");
+    const auto* value = row.find("value");
+    ASSERT_NE(label, nullptr);
+    ASSERT_NE(metric, nullptr);
+    ASSERT_NE(value, nullptr);
+    cells[label->str][metric->str] = value->num;
+  }
+
+  const std::vector<std::string> statics = {"performance", "balanced", "battery"};
+  const std::vector<std::string> steady = {"iot_fanin", "flash_crowd", "mixed_tenants"};
+  auto cell_metric = [&](const std::string& label, const std::string& metric) {
+    const auto cit = cells.find(label);
+    EXPECT_NE(cit, cells.end()) << "missing cell " << label;
+    if (cit == cells.end()) return -1.0;
+    const auto mit = cit->second.find(metric);
+    EXPECT_NE(mit, cit->second.end()) << "missing " << metric << " in " << label;
+    return mit == cit->second.end() ? -1.0 : mit->second;
+  };
+
+  // Steady scenarios: learned p99 within 5% of the best static policy.
+  for (const std::string& scn : steady) {
+    double best_static = -1.0;
+    for (const std::string& pol : statics) {
+      const double p99 = cell_metric(scn + "/" + pol, "ablation.latency.p99");
+      if (best_static < 0.0 || p99 < best_static) best_static = p99;
+    }
+    const double learned = cell_metric(scn + "/learned", "ablation.latency.p99");
+    EXPECT_LE(learned, best_static * 1.05)
+        << scn << ": learned p99 " << learned << " ns not within 5% of best static "
+        << best_static << " ns";
+  }
+
+  // Uplink-flap scenario: learned strictly better than EVERY static policy,
+  // at the median, the tail, and the mean.
+  for (const std::string& pol : statics) {
+    for (const char* m : {"ablation.latency.p50", "ablation.latency.p99", "ablation.latency.mean"}) {
+      const double st = cell_metric("uplink_flap/" + pol, m);
+      const double le = cell_metric("uplink_flap/learned", m);
+      EXPECT_LT(le, st) << "uplink_flap " << m << ": learned " << le
+                        << " must beat " << pol << " " << st;
+    }
+  }
+
+  // Learned-only rows: engine counters and the fixed-length regret series,
+  // present for every scenario; vetoes must actually fire under flaps.
+  for (const auto& scn : {"iot_fanin", "flash_crowd", "mixed_tenants", "uplink_flap"}) {
+    const std::string label = std::string(scn) + "/learned";
+    for (const char* m : {"placement.decisions", "placement.switches", "placement.explorations",
+                          "placement.store_vetoes", "placement.regret"}) {
+      EXPECT_GE(cell_metric(label, m), 0.0) << label;
+    }
+    for (int i = 1; i <= 12; ++i) {
+      const std::string tick = label + "/t=" + std::to_string(i) + "of12";
+      EXPECT_GE(cell_metric(tick, "placement.regret"), 0.0) << tick;
+    }
+  }
+  EXPECT_GT(cell_metric("uplink_flap/learned", "placement.store_vetoes"), 0.0)
+      << "the flap scenario must exercise the store veto";
 }
 
 }  // namespace
